@@ -1,0 +1,15 @@
+"""Regenerate the design-choice ablations (DESIGN.md Section 5)."""
+
+from conftest import run_experiment
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark):
+    table = run_experiment(benchmark, ablations, "ablations")
+    by_variant = {row[0]: row[1] for row in table.rows}
+    full = by_variant["Triage_1MB (full design)"]
+    # PC localization is load-bearing: the global-stream variant loses
+    # a substantial part of the benefit.
+    assert by_variant["no PC localization"] < full
+    # Narrower tags recycle ids sooner and cannot beat the full design.
+    assert by_variant["8-bit compressed tags"] <= full + 0.02

@@ -1,0 +1,21 @@
+"""Regenerate the analytic-vs-queued engine validation table."""
+
+from conftest import run_experiment
+from repro.experiments import ext_engine_validation
+from repro.sim.stats import geomean
+
+
+def test_ext_engine_validation(benchmark):
+    table = run_experiment(
+        benchmark, ext_engine_validation, "ext_engine_validation"
+    )
+    bo_a = geomean([row[1] for row in table.rows])
+    bo_q = geomean([row[2] for row in table.rows])
+    tri_a = geomean([row[3] for row in table.rows])
+    tri_q = geomean([row[4] for row in table.rows])
+    # Both engines agree on the suite-level ordering: Triage beats BO.
+    assert tri_a > bo_a
+    assert tri_q > bo_q
+    # The queued engine discounts late prefetches, never inflates them.
+    assert tri_q <= tri_a + 0.05
+    assert any(row[5] > 0 for row in table.rows)  # late prefetches observed

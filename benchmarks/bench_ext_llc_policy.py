@@ -1,0 +1,13 @@
+"""Regenerate the LLC-replacement interplay extension."""
+
+from conftest import run_experiment
+from repro.experiments import ext_llc_policy
+
+
+def test_ext_llc_policy(benchmark):
+    table = run_experiment(benchmark, ext_llc_policy, "ext_llc_policy")
+    rows = {row[0]: row for row in table.rows}
+    # Triage's speedup survives under every LLC policy (the paper's core
+    # marginal-utility argument).
+    for policy, row in rows.items():
+        assert row[2] > 1.05, policy

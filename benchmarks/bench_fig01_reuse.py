@@ -1,0 +1,14 @@
+"""Regenerate Figure 1: metadata reuse distribution on mcf."""
+
+from conftest import quick, run_experiment
+from repro.experiments import fig01_reuse
+
+
+def test_fig01_reuse(benchmark):
+    table = run_experiment(benchmark, fig01_reuse, "fig01_reuse")
+    pct_by_threshold = {row[0]: row[2] for row in table.rows}
+    # Shape: a heavy-tailed skew -- a minority of entries account for the
+    # high reuse counts, most entries are barely reused.
+    tail = 5 if quick() else 15  # quick traces are too short for 15 passes
+    assert 0.0 < pct_by_threshold[tail] < 30.0
+    assert pct_by_threshold[1] > pct_by_threshold[tail]

@@ -1,0 +1,16 @@
+"""Regenerate Figure 5: Triage vs BO/SMS speedups on irregular SPEC."""
+
+from conftest import run_experiment
+from repro.experiments import fig05_irregular_speedup
+
+
+def test_fig05_irregular_speedup(benchmark):
+    table = run_experiment(
+        benchmark, fig05_irregular_speedup, "fig05_irregular_speedup"
+    )
+    geo = dict(zip(table.headers[1:], table.row("geomean")[1:]))
+    # Paper shape: Triage >> BO >= SMS on the irregular suite.
+    assert geo["Triage_1MB"] > geo["BO"]
+    assert geo["Triage_1MB"] > geo["SMS"]
+    assert geo["Triage_512KB"] > geo["BO"]
+    assert geo["Triage_1MB"] > 1.10

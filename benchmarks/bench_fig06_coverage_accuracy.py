@@ -1,0 +1,15 @@
+"""Regenerate Figure 6: coverage and accuracy comparison."""
+
+from conftest import run_experiment
+from repro.experiments import fig06_coverage_accuracy
+
+
+def test_fig06_coverage_accuracy(benchmark):
+    table = run_experiment(
+        benchmark, fig06_coverage_accuracy, "fig06_coverage_accuracy"
+    )
+    avg = dict(zip(table.headers[1:], table.row("average")[1:]))
+    # Paper shape: Triage leads both coverage and accuracy.
+    assert avg["Triage_1MB cov"] > avg["BO cov"]
+    assert avg["Triage_1MB cov"] > avg["SMS cov"]
+    assert avg["Triage_1MB acc"] > avg["BO acc"]

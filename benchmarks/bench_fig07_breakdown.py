@@ -1,0 +1,15 @@
+"""Regenerate Figure 7: capacity-vs-prefetching breakdown."""
+
+from conftest import run_experiment
+from repro.experiments import fig07_breakdown
+
+
+def test_fig07_breakdown(benchmark):
+    table = run_experiment(benchmark, fig07_breakdown, "fig07_breakdown")
+    geo = dict(zip(table.headers[1:], table.row("geomean")[1:]))
+    # Paper shape: optimistic > real Triage > 1 (gain beats capacity
+    # loss); halving the LLC without prefetching loses performance.
+    assert geo["2MB LLC + free 1MB Triage (optimistic)"] >= geo["2MB LLC - 1MB Triage"]
+    assert geo["2MB LLC - 1MB Triage"] > 1.0
+    assert geo["1MB LLC - NoL2PF"] < 1.0
+    assert geo["1MB LLC + 1MB Triage"] > geo["1MB LLC - NoL2PF"]

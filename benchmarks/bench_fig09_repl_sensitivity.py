@@ -1,0 +1,21 @@
+"""Regenerate Figure 9: store size x replacement policy sweep."""
+
+from conftest import run_experiment
+from repro.experiments import fig09_repl_sensitivity
+
+
+def test_fig09_repl_sensitivity(benchmark):
+    table = run_experiment(
+        benchmark, fig09_repl_sensitivity, "fig09_repl_sensitivity"
+    )
+    by_size = {row[0]: (row[1], row[2]) for row in table.rows}
+    # Paper shape: Hawkeye beats LRU at small stores; the gap shrinks as
+    # the store grows; bigger stores never hurt.
+    lru_small, hawkeye_small = by_size["256KB"]
+    assert hawkeye_small >= lru_small
+    lru_big, hawkeye_big = by_size["1024KB"]
+    assert (hawkeye_big - lru_big) <= (hawkeye_small - lru_small) + 0.05
+    assert by_size["1024KB"][1] >= by_size["128KB"][1]
+    # 1MB Hawkeye should capture a large share of Perfect's benefit.
+    perfect = by_size["Perfect (unbounded)"][1]
+    assert (hawkeye_big - 1) >= 0.5 * (perfect - 1)

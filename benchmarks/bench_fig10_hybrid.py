@@ -1,0 +1,12 @@
+"""Regenerate Figure 10: BO+Triage hybrid."""
+
+from conftest import run_experiment
+from repro.experiments import fig10_hybrid
+
+
+def test_fig10_hybrid(benchmark):
+    table = run_experiment(benchmark, fig10_hybrid, "fig10_hybrid")
+    geo = dict(zip(table.headers[1:], table.row("geomean")[1:]))
+    # Paper shape: the hybrid beats BO alone by a wide margin.
+    assert geo["BO+Triage-Dyn"] > geo["BO"]
+    assert geo["BO+Triage-Dyn"] >= geo["Triage_Dynamic"] - 0.02

@@ -1,0 +1,18 @@
+"""Regenerate Figure 11: speedup + traffic vs off-chip temporal
+prefetchers."""
+
+from conftest import run_experiment
+from repro.experiments import fig11_offchip_comparison
+
+
+def test_fig11_offchip_comparison(benchmark):
+    table = run_experiment(
+        benchmark, fig11_offchip_comparison, "fig11_offchip_comparison"
+    )
+    mean = dict(zip(table.headers[1:], table.row("mean")[1:]))
+    # Paper shape: Triage beats idealized STMS/Domino, trails MISB, and
+    # has far lower traffic overhead than MISB.
+    assert mean["Triage_Dynamic speedup"] > mean["STMS speedup"]
+    assert mean["Triage_Dynamic speedup"] > mean["Domino speedup"]
+    assert mean["MISB_48KB speedup"] > mean["Triage_Dynamic speedup"] - 0.05
+    assert mean["Triage_Dynamic traffic+%"] < 0.6 * mean["MISB_48KB traffic+%"]

@@ -1,0 +1,16 @@
+"""Regenerate Figure 12: the design-space scatter."""
+
+from conftest import run_experiment
+from repro.experiments import fig12_design_space
+
+
+def test_fig12_design_space(benchmark):
+    table = run_experiment(benchmark, fig12_design_space, "fig12_design_space")
+    points = {row[0]: (row[1], row[2]) for row in table.rows}
+    triage_speed, triage_traffic = points["Triage_Dynamic"]
+    misb_speed, misb_traffic = points["MISB_48KB"]
+    bo_speed, bo_traffic = points["BO"]
+    # Paper shape: Triage occupies the low-traffic/high-speedup corner --
+    # much faster than BO at far less traffic than MISB.
+    assert triage_speed > bo_speed
+    assert triage_traffic < misb_traffic

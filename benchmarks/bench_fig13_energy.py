@@ -1,0 +1,14 @@
+"""Regenerate Figure 13: metadata-access energy, MISB vs Triage."""
+
+from conftest import run_experiment
+from repro.experiments import fig13_energy
+
+
+def test_fig13_energy(benchmark):
+    table = run_experiment(benchmark, fig13_energy, "fig13_energy")
+    average = table.row("average")[1]
+    # Paper shape: MISB's metadata energy is a multiple of Triage's
+    # (4-22x in the paper), and the low-bound column stays above 1x.
+    assert average > 2.0
+    for row in table.rows[:-1]:
+        assert row[2] <= row[1] <= row[3]  # low <= nominal <= high

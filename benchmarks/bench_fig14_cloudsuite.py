@@ -1,0 +1,19 @@
+"""Regenerate Figure 14: CloudSuite-like server workloads, 4 cores."""
+
+from conftest import quick, run_experiment
+from repro.experiments import fig14_cloudsuite
+
+
+def test_fig14_cloudsuite(benchmark):
+    table = run_experiment(benchmark, fig14_cloudsuite, "fig14_cloudsuite")
+    geo = dict(zip(table.headers[1:], table.row("geomean")[1:]))
+    # Paper shape: the BO+Triage hybrid is the best overall config.
+    hybrid = geo.get("BO+Triage-Dynamic") or geo.get("BO+Triage-Dyn")
+    assert hybrid > geo["BO"] - 0.01
+    if not quick():
+        # Triage wins the irregular benchmarks, BO/SMS win the regular
+        # (compulsory-miss) ones.
+        cassandra = dict(zip(table.headers[1:], table.row("cassandra")[1:]))
+        nutch = dict(zip(table.headers[1:], table.row("nutch")[1:]))
+        assert cassandra["Triage-Dynamic"] > cassandra["SMS"]
+        assert nutch["BO"] >= nutch["Triage-Dynamic"] - 0.02

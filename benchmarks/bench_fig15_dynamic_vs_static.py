@@ -1,0 +1,16 @@
+"""Regenerate Figure 15: Triage-Dynamic vs -Static on shared caches."""
+
+from conftest import run_experiment
+from repro.experiments import fig15_dynamic_vs_static
+
+
+def test_fig15_dynamic_vs_static(benchmark):
+    table = run_experiment(
+        benchmark, fig15_dynamic_vs_static, "fig15_dynamic_vs_static"
+    )
+    geo = table.row("geomean")
+    static, dynamic = geo[2], geo[3]
+    # Paper shape: with a shared LLC, dynamic partitioning beats the
+    # static half-cache split.
+    assert dynamic >= static - 0.01
+    assert dynamic > 1.0

@@ -1,0 +1,14 @@
+"""Regenerate Figure 16: 4-core irregular mixes."""
+
+from conftest import run_experiment
+from repro.experiments import fig16_multicore_mixes
+
+
+def test_fig16_multicore_mixes(benchmark):
+    table = run_experiment(
+        benchmark, fig16_multicore_mixes, "fig16_multicore_mixes"
+    )
+    geo = dict(zip(table.headers[2:], table.row("geomean")[2:]))
+    # Paper shape: both prefetchers help; the hybrid is best.
+    assert geo["Triage_Dynamic"] > 1.0
+    assert geo["BO+Triage-Dyn"] >= max(geo["BO"], geo["Triage_Dynamic"]) - 0.01

@@ -1,0 +1,19 @@
+"""Regenerate Figure 17: MISB vs Triage across core counts."""
+
+from conftest import run_experiment
+from repro.experiments import fig17_core_scaling
+
+
+def test_fig17_core_scaling(benchmark):
+    table = run_experiment(benchmark, fig17_core_scaling, "fig17_core_scaling")
+    rows = {row[0]: row for row in table.rows}
+    few = min(rows)
+    many = max(rows)
+    misb_few, triage_few = rows[few][1], rows[few][2]
+    misb_many, triage_many = rows[many][1], rows[many][2]
+    # Paper shape: MISB's advantage shrinks (and inverts) as core count
+    # grows, because its metadata traffic eats shared bandwidth.
+    assert (triage_many - misb_many) > (triage_few - misb_few) - 0.02
+    assert triage_many >= misb_many - 0.02
+    # MISB always pays more traffic than Triage.
+    assert rows[many][3] > rows[many][4]

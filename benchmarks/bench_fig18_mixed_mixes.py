@@ -1,0 +1,13 @@
+"""Regenerate Figure 18: 4-core regular+irregular mixes."""
+
+from conftest import run_experiment
+from repro.experiments import fig18_mixed_mixes
+
+
+def test_fig18_mixed_mixes(benchmark):
+    table = run_experiment(benchmark, fig18_mixed_mixes, "fig18_mixed_mixes")
+    geo = dict(zip(table.headers[2:], table.row("geomean")[2:]))
+    # Paper shape: BO carries the regular programs; adding Triage helps
+    # further; Triage alone trails BO on these mixes.
+    assert geo["BO+Triage-Dyn"] >= geo["BO"] - 0.01
+    assert geo["BO"] > geo["Triage_Dynamic"] - 0.02

@@ -1,0 +1,16 @@
+"""Regenerate Figure 19: per-core metadata way allocations."""
+
+from conftest import run_experiment
+from repro.experiments import fig19_way_allocation
+
+
+def test_fig19_way_allocation(benchmark):
+    table = run_experiment(
+        benchmark, fig19_way_allocation, "fig19_way_allocation"
+    )
+    totals = table.column("total ways")
+    # Paper shape: allocations vary across mixes, and no mix hands the
+    # whole LLC to metadata.
+    assert len(set(totals)) >= 1
+    machine_ways = 16
+    assert all(0 <= t < machine_ways for t in totals)

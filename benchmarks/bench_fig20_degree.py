@@ -1,0 +1,15 @@
+"""Regenerate Figure 20: prefetch-degree sensitivity."""
+
+from conftest import run_experiment
+from repro.experiments import fig20_degree
+
+
+def test_fig20_degree(benchmark):
+    table = run_experiment(benchmark, fig20_degree, "fig20_degree")
+    rows = {row[0]: dict(zip(table.headers[1:], row[1:])) for row in table.rows}
+    degrees = sorted(rows)
+    low, high = degrees[0], degrees[-1]
+    # Paper shape: Triage gains with degree and stays more accurate than
+    # BO at high degree.
+    assert rows[high]["Triage_1MB speedup"] >= rows[low]["Triage_1MB speedup"] - 0.02
+    assert rows[high]["Triage_1MB acc"] > rows[high]["BO acc"]

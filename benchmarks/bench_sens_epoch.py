@@ -1,0 +1,13 @@
+"""Regenerate the Section 4.6 epoch-length sensitivity study."""
+
+from conftest import run_experiment
+from repro.experiments import sens_epoch
+
+
+def test_sens_epoch(benchmark):
+    table = run_experiment(benchmark, sens_epoch, "sens_epoch")
+    speedups = table.column("geomean speedup")
+    # Paper shape: performance is insensitive to the epoch length over a
+    # wide range.
+    assert max(speedups) - min(speedups) < 0.35
+    assert all(s > 1.0 for s in speedups)

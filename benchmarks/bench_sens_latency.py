@@ -1,0 +1,12 @@
+"""Regenerate the Section 4.6 LLC-latency sensitivity study."""
+
+from conftest import run_experiment
+from repro.experiments import sens_latency
+
+
+def test_sens_latency(benchmark):
+    table = run_experiment(benchmark, sens_latency, "sens_latency")
+    speedups = {row[0]: row[1] for row in table.rows}
+    # Paper shape: up to 6 extra LLC cycles barely dents the speedup.
+    assert speedups[6] > 1.0
+    assert speedups[0] - speedups[6] < 0.10

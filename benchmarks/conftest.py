@@ -1,0 +1,38 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each bench runs one experiment harness (``repro.experiments.figXX.run``),
+times it via pytest-benchmark, prints the regenerated table and writes it
+to ``results/<bench>.txt`` so the numbers survive the run.
+
+Set ``REPRO_QUICK=1`` to run every figure on reduced benchmark subsets
+and trace lengths (used by CI-style smoke runs).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def record_table(name: str, table) -> None:
+    """Print a regenerated table and persist it under results/."""
+    text = str(table)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def quick() -> bool:
+    return os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+
+def run_experiment(benchmark, module, name: str):
+    """Benchmark one experiment's run() and record its table."""
+    table = benchmark.pedantic(
+        module.run, kwargs={"quick": quick()}, rounds=1, iterations=1
+    )
+    record_table(name, table)
+    return table

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Explore the metadata-store design space for a workload of your own.
+
+The core question Triage answers is "how little metadata can a temporal
+prefetcher live with, and how should it be managed?"  This example
+sweeps the on-chip store size under LRU vs Hawkeye replacement over a
+pointer-chasing workload with a hot/cold reuse skew (mcf-like) and
+prints the speedup and coverage at each point -- the experiment behind
+the paper's Figure 9, exposed as a reusable recipe.
+
+Run:  python examples/metadata_store_explorer.py
+"""
+
+from repro.core.triage import TriageConfig
+from repro.sim.config import MachineConfig
+from repro.sim.single_core import simulate
+from repro.workloads import spec
+
+KB = 1024
+SIZES_KB = [32, 64, 128, 256]
+
+
+def main() -> None:
+    machine = MachineConfig.scaled(4)
+    trace = spec.make_trace("mcf", n_accesses=120_000, seed=1, scale=4)
+    warmup = 40_000
+    baseline = simulate(trace, None, machine=machine, warmup_accesses=warmup)
+
+    print(f"workload: {trace.name} | baseline IPC {baseline.ipc:.3f}\n")
+    print(f"{'store size':<12}{'policy':<10}{'speedup':>9}{'coverage':>10}"
+          f"{'store occupancy':>17}")
+    print("-" * 58)
+    for size_kb in SIZES_KB:
+        for policy in ("lru", "hawkeye"):
+            config = TriageConfig(
+                metadata_capacity=size_kb * KB,
+                replacement=policy,
+            )
+            # charge_metadata_to_llc=False isolates the *management*
+            # question from the capacity tradeoff, as Figure 9 does.
+            result = simulate(
+                trace, config, machine=machine,
+                charge_metadata_to_llc=False, warmup_accesses=warmup,
+            )
+            entries = size_kb * KB // 4
+            print(
+                f"{size_kb:>7} KB  {policy:<10}"
+                f"{result.speedup_over(baseline):>9.3f}"
+                f"{result.coverage:>10.2%}"
+                f"{entries:>14,} e"
+            )
+    # The unbounded reference ("Perfect" in the paper's Figure 9).
+    ideal = simulate(
+        trace, TriageConfig(metadata_capacity=None), machine=machine,
+        charge_metadata_to_llc=False, warmup_accesses=warmup,
+    )
+    print("-" * 58)
+    print(f"{'unbounded':<22}{ideal.speedup_over(baseline):>9.3f}"
+          f"{ideal.coverage:>10.2%}")
+    print(
+        "\nHawkeye's OPT-trained triage of metadata matters most when the "
+        "store is small; a modest store captures most of the unbounded "
+        "prefetcher's benefit."
+    )
+
+
+if __name__ == "__main__":
+    main()

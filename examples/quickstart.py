@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate Triage against Best-Offset on an irregular workload.
+
+This is the 60-second tour of the library:
+
+1. build a synthetic mcf-like trace (pointer chasing with a hot/cold
+   reuse skew),
+2. simulate it on a Table-1-style machine with no L2 prefetcher, with
+   Best-Offset, and with Triage,
+3. print the paper's headline metrics: speedup, coverage, accuracy and
+   off-chip traffic overhead.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.triage import TriageConfig
+from repro.sim.config import MachineConfig
+from repro.sim.single_core import simulate
+from repro.workloads import spec
+
+KB = 1024
+
+
+def main() -> None:
+    # Machine and workload scaled 4x below the paper's (see DESIGN.md):
+    # every capacity ratio -- working set : LLC, metadata store : LLC --
+    # is preserved, so the paper's effects reproduce in seconds.
+    machine = MachineConfig.scaled(4)
+    trace = spec.make_trace("mcf", n_accesses=120_000, seed=1, scale=4)
+    print(f"workload: {trace.name}, {len(trace):,} accesses, "
+          f"{len(set(trace.addrs)):,} distinct lines")
+
+    triage = TriageConfig(
+        metadata_capacity=256 * KB,  # the paper's 1 MB store, scaled
+        capacities=(0, 128 * KB, 256 * KB),
+    )
+
+    baseline = simulate(trace, None, machine=machine, warmup_accesses=40_000)
+    runs = {
+        "Best-Offset": simulate(trace, "bo", machine=machine,
+                                warmup_accesses=40_000),
+        "Triage (1MB static)": simulate(trace, triage, machine=machine,
+                                        warmup_accesses=40_000),
+    }
+
+    print(f"\n{'config':<22}{'speedup':>9}{'coverage':>10}"
+          f"{'accuracy':>10}{'traffic+%':>11}")
+    print("-" * 62)
+    print(f"{'no L2 prefetch':<22}{1.0:>9.3f}{'-':>10}{'-':>10}{'-':>11}")
+    for name, result in runs.items():
+        print(
+            f"{name:<22}{result.speedup_over(baseline):>9.3f}"
+            f"{result.coverage:>10.2%}{result.accuracy:>10.2%}"
+            f"{result.traffic_overhead_vs(baseline):>11.1%}"
+        )
+    print(
+        "\nTriage covers the pointer-chasing misses BO cannot see, with "
+        "all metadata on chip."
+    )
+
+
+if __name__ == "__main__":
+    main()

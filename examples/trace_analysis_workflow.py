@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Trace files + analysis: decide whether Triage will help *before*
+simulating.
+
+Workflow:
+
+1. generate (or import) a trace and save it to disk in the library's
+   compact binary format;
+2. profile it with the analysis toolkit -- working set vs the LLC,
+   reuse-distance mix, metadata footprint vs the store, and pair
+   stability (the prefetch-accuracy predictor);
+3. confirm the prediction with a simulation of the loaded file.
+
+Run:  python examples/trace_analysis_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import (
+    metadata_footprint,
+    pair_stability_profile,
+    reuse_distance_histogram,
+    working_set_lines,
+)
+from repro.core.triage import TriageConfig
+from repro.sim.config import MachineConfig
+from repro.sim.single_core import simulate
+from repro.workloads import spec
+from repro.workloads.traceio import load_trace, save_trace
+
+KB = 1024
+
+
+def profile(name: str, trace, llc_lines: int, store_entries: int) -> None:
+    ws = working_set_lines(trace)
+    footprint = metadata_footprint(trace)
+    stability = pair_stability_profile(trace)
+    hist = reuse_distance_histogram(trace)
+    print(f"--- {name} ---")
+    print(f"  working set        {ws:,} lines  ({ws / llc_lines:.1f}x the LLC)")
+    print(f"  reuse distances    {hist}")
+    print(f"  metadata footprint {footprint['entries']:,} entries "
+          f"({footprint['entries'] / store_entries:.2f}x the 1MB-scaled store)")
+    print(f"  reuse skew         >5x: {footprint['share_reused_gt5']:.1%}  "
+          f">15x: {footprint['share_reused_gt15']:.1%}")
+    print(f"  pair stability     {stability:.1%}  "
+          f"({'temporal-prefetchable' if stability > 0.5 else 'NOT prefetchable'})")
+
+
+def main() -> None:
+    machine = MachineConfig.scaled(4)
+    llc_lines = machine.llc_size_per_core // 64
+    store_entries = (256 * KB) // 4
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+    traces = {}
+    for bench in ("mcf", "bzip2"):
+        trace = spec.make_trace(bench, n_accesses=100_000, seed=1, scale=4)
+        path = workdir / f"{bench}.rpt"
+        save_trace(trace, path)
+        traces[bench] = load_trace(path)  # round-trip through the file
+        print(f"saved {path} ({path.stat().st_size / 1024:.0f} KiB)")
+    print()
+
+    for bench, trace in traces.items():
+        profile(bench, trace, llc_lines, store_entries)
+        print()
+
+    print("prediction: mcf is temporal-prefetchable, bzip2 is not.  check:")
+    config = TriageConfig(metadata_capacity=256 * KB,
+                          capacities=(0, 128 * KB, 256 * KB))
+    for bench, trace in traces.items():
+        base = simulate(trace, None, machine=machine, warmup_accesses=30_000)
+        triage = simulate(trace, config, machine=machine, warmup_accesses=30_000)
+        print(f"  {bench:<8} Triage speedup {triage.speedup_over(base):.3f} "
+              f"(coverage {triage.coverage:.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment ships setuptools without the ``wheel`` package, so PEP
+660 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` take the legacy ``setup.py develop``
+path instead.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``python -m repro list``                 -- list experiments
+* ``python -m repro run fig05 [--quick]``  -- regenerate one figure
+* ``python -m repro run all  [--quick]``   -- regenerate everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate figures from 'Temporal Prefetching Without "
+        "the Off-Chip Metadata' (MICRO 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment name, e.g. fig05")
+    run_parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced benchmark subsets and trace lengths",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.registry import EXPERIMENTS, get
+
+    if args.command == "list":
+        for name, module in EXPERIMENTS.items():
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<14} {summary}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = get(name)
+        start = time.time()
+        table = module.run(quick=args.quick)
+        print(table)
+        print(f"[{name} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

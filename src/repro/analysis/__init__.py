@@ -1,0 +1,22 @@
+"""Workload and metadata analysis tools.
+
+These are the instruments used to *design* the synthetic workloads and
+to check that they exhibit the statistics the paper's arguments rest on
+(reuse-distance profile, metadata footprint and reuse skew, PC-stream
+stability).  They work on any :class:`~repro.workloads.base.Trace`,
+including ones loaded from disk.
+"""
+
+from repro.analysis.reuse import (
+    metadata_footprint,
+    pair_stability_profile,
+    reuse_distance_histogram,
+    working_set_lines,
+)
+
+__all__ = [
+    "metadata_footprint",
+    "pair_stability_profile",
+    "reuse_distance_histogram",
+    "working_set_lines",
+]

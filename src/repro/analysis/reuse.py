@@ -1,0 +1,144 @@
+"""Reuse-distance and metadata-footprint profiling.
+
+*Reuse distance* (number of distinct lines touched between consecutive
+uses of the same line) determines which cache level can capture a
+workload's reuse: a reuse distance beyond the LLC's line count is a
+guaranteed miss for any replacement policy -- the population temporal
+prefetching feeds on.
+
+*Metadata footprint* mirrors Triage's training: it counts the distinct
+PC-localized correlation pairs a trace generates (one 4-byte entry
+each) and their reuse skew -- the Figure 1 statistic, computable for
+any trace without running a simulation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.workloads.base import Trace
+
+
+def working_set_lines(trace: Trace) -> int:
+    """Distinct cache lines the trace touches."""
+    return len({addr >> 6 for addr in trace.addrs})
+
+
+class _Fenwick:
+    """Binary indexed tree over access timestamps (for exact reuse
+    distances in O(log n) per access)."""
+
+    def __init__(self, n: int):
+        self._tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i < len(self._tree):
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        i += 1
+        total = 0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def range(self, lo: int, hi: int) -> int:
+        """Sum over [lo, hi] inclusive."""
+        if hi < lo:
+            return 0
+        return self.prefix(hi) - (self.prefix(lo - 1) if lo > 0 else 0)
+
+
+def reuse_distance_histogram(
+    trace: Trace, bucket_edges: Tuple[int, ...] = (512, 2048, 8192, 32768)
+) -> Dict[str, int]:
+    """Bucketed exact reuse-distance counts (distinct lines between
+    consecutive uses of a line; Mattson stack distances).
+
+    Buckets are labelled ``<=edge`` plus a final ``>last`` and a
+    ``cold`` bucket for first touches.  Edges default to the scaled
+    machine's L1/L2/LLC line counts, so the histogram reads directly as
+    "hits possible at this level".  O(n log n) via a Fenwick tree.
+    """
+    n = len(trace.addrs)
+    marks = _Fenwick(n)  # 1 at the latest timestamp of each live line
+    seen_at: Dict[int, int] = {}
+    histogram: Counter = Counter()
+    for t, addr in enumerate(trace.addrs):
+        line = addr >> 6
+        prev = seen_at.get(line)
+        if prev is None:
+            histogram["cold"] += 1
+        else:
+            distinct = marks.range(prev + 1, t - 1)
+            for edge in bucket_edges:
+                if distinct <= edge:
+                    histogram[f"<={edge}"] += 1
+                    break
+            else:
+                histogram[f">{bucket_edges[-1]}"] += 1
+            marks.add(prev, -1)
+        seen_at[line] = t
+        marks.add(t, 1)
+    return dict(histogram)
+
+
+def metadata_footprint(trace: Trace) -> Dict[str, float]:
+    """Triage-style metadata statistics for a trace.
+
+    Returns the number of distinct PC-localized pairs (= metadata
+    entries an unbounded store would hold), the bytes they would occupy
+    at 4 B/entry, and the Figure-1 skew numbers (share of entries reused
+    more than 5x / 15x).
+    """
+    last_by_pc: Dict[int, int] = {}
+    pair_seen: Dict[int, int] = {}  # trigger -> times re-trained
+    reuse: Counter = Counter()
+    for pc, addr, _ in trace:
+        line = addr >> 6
+        prev = last_by_pc.get(pc)
+        if prev is not None and prev != line:
+            if prev in pair_seen:
+                reuse[prev] += 1
+            pair_seen[prev] = line
+        last_by_pc[pc] = line
+    entries = len(pair_seen)
+    more_than_5 = sum(1 for c in reuse.values() if c > 5)
+    more_than_15 = sum(1 for c in reuse.values() if c > 15)
+    return {
+        "entries": entries,
+        "bytes": entries * 4,
+        "share_reused_gt5": more_than_5 / entries if entries else 0.0,
+        "share_reused_gt15": more_than_15 / entries if entries else 0.0,
+    }
+
+
+def pair_stability_profile(trace: Trace) -> float:
+    """Fraction of re-trained correlation pairs whose successor repeats.
+
+    1.0 = perfectly repeatable traversals (chains); near 0 = reuse
+    without order (the bzip2 anti-pattern).  This is the trace-level
+    counterpart of ``MetadataStore.pair_stability``.
+    """
+    last_by_pc: Dict[int, int] = {}
+    successor: Dict[int, int] = {}
+    agree = 0
+    conflict = 0
+    for pc, addr, _ in trace:
+        line = addr >> 6
+        prev = last_by_pc.get(pc)
+        if prev is not None and prev != line:
+            old = successor.get(prev)
+            if old is not None:
+                if old == line:
+                    agree += 1
+                else:
+                    conflict += 1
+            successor[prev] = line
+        last_by_pc[pc] = line
+    total = agree + conflict
+    return agree / total if total else 1.0

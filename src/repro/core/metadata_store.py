@@ -1,0 +1,294 @@
+"""Triage's on-chip metadata store.
+
+The store lives in a way-partitioned slice of the LLC and maps a trigger
+line address to its PC-localized successor.  Entries are 4 bytes: the
+compressed tag of the trigger (its set_id is implicit), the compressed
+tag + set_id of the successor, and a 1-bit confidence counter (paper
+Section 3.2).  Sixteen tagged entries pack into one 64 B LLC line, so the
+store behaves as a set-associative structure with 16-entry sets indexed
+by the trigger address -- exactly how this class is organized.
+
+Anything evicted is simply discarded: Triage has no off-chip metadata.
+Replacement is the modified Hawkeye policy by default (``policy="lru"``
+reproduces the paper's Figure 9 ablation); the Hawkeye sampler is fed by
+the owner (:class:`repro.core.triage.TriagePrefetcher`) so that metadata
+accesses producing *redundant* prefetches never train it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.compressed_tags import CompressedTagTable
+from repro.replacement.base import ReplacementPolicy
+from repro.replacement.hawkeye import HawkeyePolicy, HawkeyePredictor
+from repro.replacement.lru import LruPolicy
+
+#: 4-byte entries, 16 per 64 B LLC line.
+ENTRY_BYTES = 4
+ENTRIES_PER_LINE = 16
+#: Bits of the successor's set_id stored verbatim (2048-set LLC, Table 1).
+SET_ID_BITS = 11
+
+
+@dataclass
+class MetadataEntry:
+    """One correlation: ``trigger``'s PC-localized successor."""
+
+    trigger: int  # trigger line address (identity within the set)
+    next_compact: int  # compressed tag of the successor
+    next_set_id: int  # set_id bits of the successor
+    confidence: int = 1  # 1-bit counter guarding against noisy retraining
+
+
+def _floor_pow2(n: int) -> int:
+    return 1 << (n.bit_length() - 1) if n > 0 else 0
+
+
+class MetadataStore:
+    """Entry-granularity set-associative metadata table.
+
+    ``capacity_bytes=None`` gives an unbounded store (the idealized
+    PC-localized prefetcher of Figures 7/9); ``capacity_bytes=0`` gives a
+    store where every lookup misses (the "no metadata" partition state).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = 1024 * 1024,
+        policy: str = "hawkeye",
+        use_compressed_tags: bool = True,
+        tag_bits: int = 10,
+        track_reuse: bool = False,
+    ):
+        self.policy_name = policy
+        self.use_compressed_tags = use_compressed_tags
+        self.tag_bits = tag_bits
+        self._predictor = HawkeyePredictor()  # persists across resizes
+        self.tag_table = CompressedTagTable(tag_bits) if use_compressed_tags else None
+        self.track_reuse = track_reuse
+        self.reuse_counts: Dict[int, int] = {}
+        # Stats.
+        self.lookups = 0
+        self.lookup_hits = 0
+        self.updates = 0
+        self.inserts = 0
+        self.evictions = 0
+        #: Updates whose successor agreed/conflicted with the stored one;
+        #: their ratio estimates pair stability (prefetch accuracy).
+        self.update_agreements = 0
+        self.update_conflicts = 0
+        self.llc_accesses = 0  # energy model: each lookup/update touches LLC
+        self.unbounded = capacity_bytes is None
+        self._unbounded_map: Dict[int, MetadataEntry] = {}
+        self.capacity_bytes = 0
+        self.num_sets = 0
+        # Per-set fixed way arrays (stable way identity for the policy)
+        # plus a trigger->way index for O(1) lookup.
+        self._ways: List[List[Optional[MetadataEntry]]] = []
+        self._index: List[Dict[int, int]] = []
+        self._policy: Optional[ReplacementPolicy] = None
+        if not self.unbounded:
+            self.resize(capacity_bytes)
+
+    # -- geometry --------------------------------------------------------
+
+    @property
+    def capacity_entries(self) -> int:
+        if self.unbounded:
+            raise ValueError("unbounded store has no capacity")
+        return self.num_sets * ENTRIES_PER_LINE
+
+    def _set_of(self, trigger: int) -> int:
+        return trigger & (self.num_sets - 1)
+
+    def resize(self, capacity_bytes: int) -> None:
+        """Re-provision the store to ``capacity_bytes``.
+
+        Surviving entries are re-inserted into the new geometry up to the
+        new capacity (the paper marks lines invalid on shrink; keeping the
+        most recent survivors is the generous end of that behaviour and
+        changes nothing downstream because discarded metadata is
+        rebuilt from the training stream within one traversal).  The
+        Hawkeye predictor's learned state persists across resizes.
+        """
+        if self.unbounded:
+            raise ValueError("cannot resize an unbounded store")
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        old_entries = [
+            entry
+            for ways in self._ways
+            for entry in ways
+            if entry is not None
+        ]
+        self.capacity_bytes = capacity_bytes
+        self.num_sets = _floor_pow2(capacity_bytes // (ENTRY_BYTES * ENTRIES_PER_LINE))
+        self._ways = [[None] * ENTRIES_PER_LINE for _ in range(self.num_sets)]
+        self._index = [dict() for _ in range(self.num_sets)]
+        if self.num_sets == 0:
+            self._policy = None
+            return
+        if self.policy_name == "hawkeye":
+            self._policy = HawkeyePolicy(
+                self.num_sets,
+                ENTRIES_PER_LINE,
+                predictor=self._predictor,
+                auto_observe=False,
+            )
+        elif self.policy_name == "lru":
+            self._policy = LruPolicy(self.num_sets, ENTRIES_PER_LINE)
+        else:
+            raise ValueError(f"unsupported metadata policy {self.policy_name!r}")
+        for entry in old_entries:
+            set_idx = self._set_of(entry.trigger)
+            if len(self._index[set_idx]) < ENTRIES_PER_LINE:
+                self._install(entry, pc=0)
+
+    # -- successor encode/decode ------------------------------------------
+
+    def _encode(self, next_line: int) -> Tuple[int, int]:
+        set_id = next_line & ((1 << SET_ID_BITS) - 1)
+        tag = next_line >> SET_ID_BITS
+        if self.tag_table is not None:
+            return self.tag_table.compress(tag), set_id
+        return tag, set_id
+
+    def _decode(self, entry: MetadataEntry) -> Optional[int]:
+        if self.tag_table is not None:
+            tag = self.tag_table.expand(entry.next_compact)
+            if tag is None:
+                return None  # compressed tag recycled away
+        else:
+            tag = entry.next_compact
+        return (tag << SET_ID_BITS) | entry.next_set_id
+
+    # -- operations ----------------------------------------------------------
+
+    def lookup(self, trigger: int, pc: int = 0) -> Optional[int]:
+        """Probe the store; return the predicted successor line or None.
+
+        Updates per-entry replacement state on hits (the paper probes the
+        replacement predictors on every metadata access) but does NOT feed
+        the Hawkeye sampler -- the owner decides that after learning
+        whether the resulting prefetch was redundant.
+        """
+        self.lookups += 1
+        self.llc_accesses += 1
+        entry = self._find(trigger)
+        if entry is None:
+            return None
+        self.lookup_hits += 1
+        if self.track_reuse:
+            self.reuse_counts[trigger] = self.reuse_counts.get(trigger, 0) + 1
+        if self._policy is not None and not self.unbounded:
+            set_idx = self._set_of(trigger)
+            way = self._index[set_idx][trigger]
+            self._policy.on_hit(set_idx, way, pc)
+        return self._decode(entry)
+
+    def update(self, trigger: int, next_line: int, pc: int = 0) -> None:
+        """Learn/refresh the correlation ``trigger -> next_line``.
+
+        Existing entries follow the 1-bit confidence discipline: matching
+        neighbors re-arm the counter, a first disagreement only drops it,
+        and the neighbor is replaced when confidence is already 0.
+        """
+        self.updates += 1
+        self.llc_accesses += 1
+        compact, set_id = self._encode(next_line)
+        entry = self._find(trigger)
+        if entry is not None:
+            if entry.next_compact == compact and entry.next_set_id == set_id:
+                self.update_agreements += 1
+                entry.confidence = 1
+            elif entry.confidence > 0:
+                self.update_conflicts += 1
+                entry.confidence = 0
+            else:
+                self.update_conflicts += 1
+                entry.next_compact = compact
+                entry.next_set_id = set_id
+                entry.confidence = 1
+            self.observe_access(trigger, pc)
+            return
+        new_entry = MetadataEntry(trigger, compact, set_id)
+        if self.unbounded:
+            self._unbounded_map[trigger] = new_entry
+            self.inserts += 1
+            return
+        if self.num_sets == 0:
+            return  # zero-capacity store: metadata is discarded
+        self._install(new_entry, pc)
+        self.inserts += 1
+        self.observe_access(trigger, pc)
+
+    def observe_access(self, trigger: int, pc: int) -> None:
+        """Feed one metadata access to the Hawkeye sampler (if active)."""
+        if isinstance(self._policy, HawkeyePolicy) and self.num_sets > 0:
+            self._policy.observe(self._set_of(trigger), trigger, pc)
+
+    def record_prefetch_outcome(self, trigger: int, pc: int, redundant: bool) -> None:
+        """Delayed training: count the metadata access behind a prefetch.
+
+        Redundant prefetches (the line was already cached) are ignored so
+        the replacement policy only values metadata that produces real
+        memory-level benefit (paper Section 3).
+        """
+        if not redundant:
+            self.observe_access(trigger, pc)
+
+    def pair_stability(self) -> float:
+        """Fraction of re-trained entries whose successor was unchanged.
+
+        A proxy for prefetch accuracy: stable pairs produce correct
+        prefetches, churning pairs produce wasted ones.  Defaults to 1.0
+        before enough evidence accumulates.
+        """
+        total = self.update_agreements + self.update_conflicts
+        return self.update_agreements / total if total >= 64 else 1.0
+
+    def contains(self, trigger: int) -> bool:
+        return self._find(trigger) is not None
+
+    def occupancy(self) -> int:
+        if self.unbounded:
+            return len(self._unbounded_map)
+        return sum(len(index) for index in self._index)
+
+    def entries(self) -> List[MetadataEntry]:
+        """All resident entries (test/analysis helper)."""
+        if self.unbounded:
+            return list(self._unbounded_map.values())
+        return [e for ways in self._ways for e in ways if e is not None]
+
+    # -- internals -----------------------------------------------------------
+
+    def _find(self, trigger: int) -> Optional[MetadataEntry]:
+        if self.unbounded:
+            return self._unbounded_map.get(trigger)
+        if self.num_sets == 0:
+            return None
+        set_idx = self._set_of(trigger)
+        way = self._index[set_idx].get(trigger)
+        return self._ways[set_idx][way] if way is not None else None
+
+    def _install(self, entry: MetadataEntry, pc: int) -> None:
+        set_idx = self._set_of(entry.trigger)
+        ways = self._ways[set_idx]
+        index = self._index[set_idx]
+        way = next((w for w in range(ENTRIES_PER_LINE) if ways[w] is None), None)
+        if way is None:
+            assert self._policy is not None
+            way = self._policy.victim(set_idx, list(range(ENTRIES_PER_LINE)), pc)
+            victim = ways[way]
+            assert victim is not None
+            del index[victim.trigger]
+            self._policy.on_evict(set_idx, way)
+            self.evictions += 1
+        ways[way] = entry
+        index[entry.trigger] = way
+        if self._policy is not None:
+            self._policy.set_line_key(set_idx, way, entry.trigger)
+            self._policy.on_fill(set_idx, way, pc)

@@ -1,0 +1,25 @@
+"""Experiment harnesses: one module per figure of the paper.
+
+Every module exposes ``run(quick=False) -> ExperimentTable`` that
+regenerates the corresponding figure's rows (speedups, coverage,
+traffic, ...) on the scaled machine described in
+:mod:`repro.experiments.common`, plus a ``main()`` that prints it.
+"""
+
+from repro.experiments.common import (
+    CAP_LARGE,
+    CAP_SMALL,
+    MACHINE,
+    SCALE,
+    ExperimentTable,
+    run_single,
+)
+
+__all__ = [
+    "CAP_LARGE",
+    "CAP_SMALL",
+    "ExperimentTable",
+    "MACHINE",
+    "SCALE",
+    "run_single",
+]

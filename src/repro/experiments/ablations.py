@@ -1,0 +1,61 @@
+"""Ablations of Triage's design choices (DESIGN.md Section 5).
+
+These go beyond the paper's figures to isolate the mechanisms DESIGN.md
+calls out:
+
+* **confidence bit** -- without it, one noisy pair rewrites a learned
+  correlation (paper Section 3.1 motivates the 1-bit counter);
+* **PC localization** -- a global-stream Triage degrades toward a
+  Markov-table-in-the-LLC (paper Section 2: PC localization is "the most
+  powerful form of temporal prefetching");
+* **tag compression width** -- fewer tag bits shrink entries but recycle
+  ids sooner, producing wrong prefetches (paper Section 3.2's 10-bit
+  choice).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import common
+from repro.experiments.fig05_irregular_speedup import benchmarks
+from repro.sim.stats import geomean
+
+ABLATIONS = [
+    ("Triage_1MB (full design)", "triage_1mb"),
+    ("no confidence bit", "triage_noconf"),
+    ("no PC localization", "triage_global"),
+    ("8-bit compressed tags", f"triage@{common.CAP_LARGE}:hawkeye:8"),
+    ("12-bit compressed tags", f"triage@{common.CAP_LARGE}:hawkeye:12"),
+    ("LRU metadata replacement", "triage_lru"),
+]
+
+
+def run(quick: bool = False) -> common.ExperimentTable:
+    n = common.N_SINGLE_QUICK if quick else common.N_SINGLE
+    benches = benchmarks(quick)
+    table = common.ExperimentTable(
+        title="Ablations: Triage design choices (geomean over irregular SPEC)",
+        headers=["variant", "speedup", "coverage", "accuracy"],
+    )
+    baselines = {b: common.run_single(b, "none", n=n) for b in benches}
+    for label_text, config in ABLATIONS:
+        speedups, covs, accs = [], [], []
+        for bench in benches:
+            result = common.run_single(bench, config, n=n)
+            speedups.append(result.speedup_over(baselines[bench]))
+            covs.append(result.coverage)
+            accs.append(result.accuracy)
+        table.add(
+            label_text,
+            geomean(speedups),
+            sum(covs) / len(covs),
+            sum(accs) / len(accs),
+        )
+    return table
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Extension: does a smarter LLC replacement policy change Triage's math?
+
+Triage's whole premise is that metadata is worth more than the LLC ways
+it displaces.  A better data-side replacement policy (DRRIP, or Hawkeye
+managing the *data* array) raises the value of those ways, so it could
+narrow Triage's margin.  This experiment runs the no-prefetch baseline
+and Triage_1MB under three LLC policies and reports both the baseline
+IPC gain and Triage's speedup over each matching baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments import common
+from repro.sim.stats import geomean
+
+BENCHES = ["mcf", "omnetpp", "xalancbmk"]
+POLICIES = ["lru", "drrip", "hawkeye"]
+
+
+def run(quick: bool = False) -> common.ExperimentTable:
+    n = common.N_SINGLE_QUICK if quick else 120_000
+    benches = BENCHES[:2] if quick else BENCHES
+    table = common.ExperimentTable(
+        title="Extension: Triage under different LLC replacement policies",
+        headers=[
+            "LLC policy",
+            "baseline IPC gain vs LRU",
+            "Triage_1MB speedup (same-policy baseline)",
+        ],
+    )
+    lru_machine = common.MACHINE
+    lru_baselines = {
+        b: common.run_single(b, "none", n=n, machine=lru_machine) for b in benches
+    }
+    for policy in POLICIES:
+        machine = replace(common.MACHINE, llc_policy=policy)
+        base_gain = []
+        triage_speedup = []
+        for bench in benches:
+            base = common.run_single(bench, "none", n=n, machine=machine)
+            triage = common.run_single(bench, "triage_1mb", n=n, machine=machine)
+            base_gain.append(base.ipc / lru_baselines[bench].ipc)
+            triage_speedup.append(triage.speedup_over(base))
+        table.add(policy, geomean(base_gain), geomean(triage_speedup))
+    table.notes.append(
+        "expected: better data-side policies raise the baseline slightly but "
+        "Triage's speedup survives -- coverage dwarfs the marginal utility of "
+        "the displaced ways (the paper's Section 1 argument)"
+    )
+    return table
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Figure 7: breakdown of Triage's performance improvement.
+
+The paper separates Triage's gain (prefetching) from its cost (LLC
+capacity given up) with four configurations, all normalized to a 2 MB
+LLC with no L2 prefetching:
+
+* optimistic Triage -- full LLC plus a free 1 MB metadata store (31.2%);
+* real Triage -- 1 MB of the 2 MB LLC repurposed (23.4%);
+* half the LLC, no prefetching (-7.4%);
+* half the LLC plus the 1 MB metadata store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments import common
+from repro.experiments.fig05_irregular_speedup import benchmarks
+from repro.sim.stats import geomean
+
+ROWS = [
+    ("2MB LLC + free 1MB Triage (optimistic)", "full_free"),
+    ("2MB LLC - 1MB Triage", "charged"),
+    ("1MB LLC - NoL2PF", "half_nopf"),
+    ("1MB LLC + 1MB Triage", "half_triage"),
+]
+
+
+def run(quick: bool = False) -> common.ExperimentTable:
+    n = common.N_SINGLE_QUICK if quick else common.N_SINGLE
+    half_llc = replace(
+        common.MACHINE,
+        llc_size_per_core=common.MACHINE.llc_size_per_core // 2,
+    )
+    table = common.ExperimentTable(
+        title="Figure 7: where Triage's improvement comes from "
+        "(speedup over full LLC with no L2PF)",
+        headers=["benchmark"] + [label for label, _ in ROWS],
+    )
+    collected = {key: [] for _, key in ROWS}
+    for bench in benchmarks(quick):
+        base = common.run_single(bench, "none", n=n)
+        values = {
+            "full_free": common.run_single(
+                bench, "triage_1mb", n=n, charge_metadata_to_llc=False
+            ).speedup_over(base),
+            "charged": common.run_single(bench, "triage_1mb", n=n).speedup_over(base),
+            "half_nopf": common.run_single(
+                bench, "none", n=n, machine=half_llc
+            ).speedup_over(base),
+            "half_triage": common.run_single(
+                bench, "triage_1mb", n=n, machine=half_llc,
+                charge_metadata_to_llc=False,
+            ).speedup_over(base),
+        }
+        for _, key in ROWS:
+            collected[key].append(values[key])
+        table.add(bench, *[values[key] for _, key in ROWS])
+    table.add("geomean", *[geomean(collected[key]) for _, key in ROWS])
+    table.notes.append(
+        "paper: optimistic +31.2%, real Triage +23.4%, half LLC -7.4%; "
+        "prefetching benefit must outweigh capacity loss"
+    )
+    return table
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

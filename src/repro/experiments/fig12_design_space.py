@@ -1,0 +1,48 @@
+"""Figure 12: the temporal-prefetcher design space (traffic vs speedup).
+
+One point per prefetcher: average speedup (x) against average off-chip
+traffic overhead (y).  Triage's contribution is the previously
+unexplored corner -- STMS/Domino-class coverage at BO-class traffic.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import common
+from repro.experiments.fig05_irregular_speedup import benchmarks
+from repro.sim.stats import geomean
+
+CONFIGS = ["bo", "stms", "domino", "misb", "triage_dynamic"]
+
+
+def run(quick: bool = False) -> common.ExperimentTable:
+    n = common.N_SINGLE_QUICK if quick else common.N_SINGLE
+    table = common.ExperimentTable(
+        title="Figure 12: design space (speedup vs traffic overhead)",
+        headers=["prefetcher", "speedup %", "traffic overhead %"],
+    )
+    benches = benchmarks(quick)
+    for config in CONFIGS:
+        speedups, overheads = [], []
+        for bench in benches:
+            base = common.run_single(bench, "none", n=n)
+            result = common.run_single(bench, config, n=n)
+            speedups.append(result.speedup_over(base))
+            overheads.append(result.traffic_overhead_vs(base))
+        table.add(
+            common.label(config),
+            common.pct(geomean(speedups)),
+            100.0 * sum(overheads) / len(overheads),
+        )
+    table.notes.append(
+        "paper points (speedup%, traffic%): BO (5.8, 33.8), STMS (15.3, 483), "
+        "Domino (14.5, 483), MISB (34.7, 156), Triage (23.5, 59)"
+    )
+    return table
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Figure 13: energy of MISB's metadata accesses relative to Triage's.
+
+Paper: 4-22x, counting 1 unit per LLC access and 25 (10-50) units per
+DRAM access.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import common
+from repro.experiments.fig05_irregular_speedup import benchmarks
+from repro.sim.energy import misb_vs_triage_energy
+
+
+def run(quick: bool = False) -> common.ExperimentTable:
+    n = common.N_SINGLE_QUICK if quick else common.N_SINGLE
+    table = common.ExperimentTable(
+        title="Figure 13: MISB metadata-access energy over Triage's (x)",
+        headers=["benchmark", "nominal", "low (10u/DRAM)", "high (50u/DRAM)"],
+    )
+    ratios = []
+    for bench in benchmarks(quick):
+        misb = common.run_single(bench, "misb", n=n)
+        triage = common.run_single(bench, "triage_1mb", n=n)
+        cmp = misb_vs_triage_energy(
+            misb_dram_accesses=misb.metadata_dram_accesses,
+            misb_llc_accesses=0,
+            triage_llc_accesses=triage.metadata_llc_accesses,
+        )
+        ratios.append(cmp.nominal)
+        table.add(bench, cmp.nominal, cmp.low, cmp.high)
+    table.add("average", sum(ratios) / len(ratios), "", "")
+    table.notes.append("paper: MISB 4-22x more energy than Triage across the suite")
+    return table
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Figure 16: 4-core multi-programmed mixes of irregular programs.
+
+Paper: BO 10.6%, Triage-Dynamic 10.2%, BO+Triage-Dynamic 15.9% -- Triage
+prefetches lines BO cannot, and the hybrid wins.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import common
+from repro.sim.stats import geomean
+
+CONFIGS = ["bo", "triage_dynamic", "bo+triage_dynamic"]
+
+N_MIXES = 6
+N_MIXES_QUICK = 3
+
+
+def run(quick: bool = False) -> common.ExperimentTable:
+    n = common.N_MULTI_QUICK if quick else common.N_MULTI
+    n_mixes = N_MIXES_QUICK if quick else N_MIXES
+    table = common.ExperimentTable(
+        title="Figure 16: 4-core irregular mixes (speedup over no prefetching)",
+        headers=["mix", "workloads"] + [common.label(c) for c in CONFIGS],
+    )
+    speedups = {c: [] for c in CONFIGS}
+    for mix_seed in range(1, n_mixes + 1):
+        base = common.run_mix_cached(4, mix_seed, "none", n_per_core=n)
+        row = [f"MIX{mix_seed}", ",".join(base.workloads)]
+        for config in CONFIGS:
+            result = common.run_mix_cached(4, mix_seed, config, n_per_core=n)
+            s = result.speedup_over(base)
+            speedups[config].append(s)
+            row.append(s)
+        table.add(*row)
+    table.add("geomean", "", *[geomean(speedups[c]) for c in CONFIGS])
+    table.notes.append(
+        "paper: BO 1.106, Triage-Dynamic 1.102, BO+Triage-Dynamic 1.159"
+    )
+    return table
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Registry of all experiment harnesses, for the CLI and docs."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments import (
+    ablations,
+    ext_engine_validation,
+    ext_llc_policy,
+    ext_utility_partition,
+    fig01_reuse,
+    fig05_irregular_speedup,
+    fig06_coverage_accuracy,
+    fig07_breakdown,
+    fig08_regular,
+    fig09_repl_sensitivity,
+    fig10_hybrid,
+    fig11_offchip_comparison,
+    fig12_design_space,
+    fig13_energy,
+    fig14_cloudsuite,
+    fig15_dynamic_vs_static,
+    fig16_multicore_mixes,
+    fig17_core_scaling,
+    fig18_mixed_mixes,
+    fig19_way_allocation,
+    fig20_degree,
+    sens_epoch,
+    sens_latency,
+)
+
+EXPERIMENTS: Dict[str, object] = {
+    "fig01": fig01_reuse,
+    "fig05": fig05_irregular_speedup,
+    "fig06": fig06_coverage_accuracy,
+    "fig07": fig07_breakdown,
+    "fig08": fig08_regular,
+    "fig09": fig09_repl_sensitivity,
+    "fig10": fig10_hybrid,
+    "fig11": fig11_offchip_comparison,
+    "fig12": fig12_design_space,
+    "fig13": fig13_energy,
+    "fig14": fig14_cloudsuite,
+    "fig15": fig15_dynamic_vs_static,
+    "fig16": fig16_multicore_mixes,
+    "fig17": fig17_core_scaling,
+    "fig18": fig18_mixed_mixes,
+    "fig19": fig19_way_allocation,
+    "fig20": fig20_degree,
+    "sens-latency": sens_latency,
+    "sens-epoch": sens_epoch,
+    "ablations": ablations,
+    "ext-utility": ext_utility_partition,
+    "ext-engines": ext_engine_validation,
+    "ext-llc-policy": ext_llc_policy,
+}
+
+
+def get(name: str):
+    """Return the experiment module registered as ``name``."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ValueError(f"unknown experiment {name!r}; choose from: {known}") from None

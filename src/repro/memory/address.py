@@ -1,0 +1,45 @@
+"""Address arithmetic shared by every cache-like structure.
+
+All simulators in this package work on 64-bit byte addresses.  Caches and
+prefetchers operate at cache-line granularity (64 bytes, the size used in
+the paper's Table 1), so most helpers convert between byte addresses, line
+addresses (byte address >> 6) and the set/tag split of a particular cache
+geometry.
+"""
+
+LINE_SIZE = 64
+LINE_SHIFT = 6  # log2(LINE_SIZE)
+
+
+def line_addr(byte_addr: int) -> int:
+    """Return the cache-line address (byte address divided by line size)."""
+    return byte_addr >> LINE_SHIFT
+
+
+def line_base(byte_addr: int) -> int:
+    """Return the first byte address of the line containing ``byte_addr``."""
+    return byte_addr & ~(LINE_SIZE - 1)
+
+
+def set_index(line: int, num_sets: int) -> int:
+    """Return the set index of ``line`` in a cache with ``num_sets`` sets.
+
+    ``num_sets`` must be a power of two, which holds for every geometry in
+    the paper's Table 1.
+    """
+    return line & (num_sets - 1)
+
+
+def tag_bits(line: int, num_sets: int) -> int:
+    """Return the tag of ``line`` for a cache with ``num_sets`` sets."""
+    return line >> (num_sets.bit_length() - 1) if num_sets > 1 else line
+
+
+def region_id(byte_addr: int, region_size: int) -> int:
+    """Return the spatial-region id (used by SMS) for ``byte_addr``."""
+    return byte_addr // region_size
+
+
+def region_offset(byte_addr: int, region_size: int) -> int:
+    """Return the line offset of ``byte_addr`` within its spatial region."""
+    return (byte_addr % region_size) >> LINE_SHIFT

@@ -1,0 +1,231 @@
+"""Three-level cache hierarchy (per-core L1D/L2, shared LLC, DRAM).
+
+The geometry defaults to the paper's Table 1: 64 KB 4-way L1D, 512 KB
+8-way private L2, 2 MB/core 16-way shared LLC, 64 B lines.  The hierarchy
+is mechanical -- it moves lines and counts events; prefetcher logic lives
+in the simulation engine, which trains on the L2 access stream (paper
+Figure 4: "PC, Phys Addr of L2 Misses & Prefetch Hits") and injects
+prefetches through :meth:`CacheHierarchy.prefetch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.memory.address import LINE_SIZE
+from repro.memory.cache import Cache
+from repro.memory.dram import TrafficCounter
+from repro.replacement.base import ReplacementPolicy
+
+#: Levels an access can be satisfied at.
+LEVELS = ("l1", "l2", "llc", "dram")
+
+
+@dataclass
+class HierarchyEvent:
+    """Outcome of one demand access, consumed by prefetcher training."""
+
+    core: int
+    pc: int
+    line: int
+    hit_level: str  # one of LEVELS
+    #: Prefetcher kind ("l1"/"l2") if this was the first demand touch of
+    #: a prefetched L2 line, else None.
+    prefetch_hit_kind: Optional[str] = None
+    is_write: bool = False
+
+    @property
+    def l2_prefetch_hit(self) -> bool:
+        """Demand hit on a line the *L2* prefetcher brought in."""
+        return self.prefetch_hit_kind == "l2"
+
+    @property
+    def trains_l2_prefetcher(self) -> bool:
+        """True when this event is part of the L2 miss + prefetch-hit stream."""
+        return self.hit_level in ("llc", "dram") or self.prefetch_hit_kind is not None
+
+
+@dataclass
+class CoreCounters:
+    """Per-core demand/prefetch statistics.
+
+    ``l2_prefetch_hits``/``prefetches_*`` cover the L2 prefetcher under
+    evaluation; the baseline L1 stride prefetcher (Table 1) is tracked
+    separately in the ``l1pf_*`` fields so it never pollutes coverage or
+    accuracy numbers.
+    """
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l2_prefetch_hits: int = 0  # useful L2 prefetches (first demand touch)
+    llc_hits: int = 0
+    dram_accesses: int = 0
+    prefetches_issued: int = 0
+    prefetches_redundant: int = 0
+    prefetch_fills_from_llc: int = 0
+    prefetch_fills_from_dram: int = 0
+    l1pf_useful: int = 0
+    l1pf_issued: int = 0
+    l1pf_redundant: int = 0
+    l1pf_fills_from_dram: int = 0
+
+    @property
+    def l2_demand_misses(self) -> int:
+        return self.llc_hits + self.dram_accesses
+
+
+class CacheHierarchy:
+    """Private L1D/L2 per core over a shared, way-partitionable LLC."""
+
+    def __init__(
+        self,
+        n_cores: int = 1,
+        l1_size: int = 64 * 1024,
+        l1_ways: int = 4,
+        l2_size: int = 512 * 1024,
+        l2_ways: int = 8,
+        llc_size_per_core: int = 2 * 1024 * 1024,
+        llc_ways: int = 16,
+        llc_policy: Union[str, ReplacementPolicy] = "lru",
+        traffic: Optional[TrafficCounter] = None,
+    ):
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        self.n_cores = n_cores
+        self.l1s = [
+            Cache(f"L1D{c}", l1_size, l1_ways, policy="lru") for c in range(n_cores)
+        ]
+        self.l2s = [
+            Cache(f"L2_{c}", l2_size, l2_ways, policy="lru") for c in range(n_cores)
+        ]
+        self.llc = Cache(
+            "LLC", llc_size_per_core * n_cores, llc_ways, policy=llc_policy
+        )
+        self.traffic = traffic if traffic is not None else TrafficCounter()
+        self.counters = [CoreCounters() for _ in range(n_cores)]
+
+    # -- demand path ---------------------------------------------------------
+
+    def access(
+        self, core: int, pc: int, addr: int, is_write: bool = False
+    ) -> HierarchyEvent:
+        """Issue one demand access (byte address) from ``core``."""
+        line = addr >> 6
+        counters = self.counters[core]
+        counters.accesses += 1
+        l1 = self.l1s[core]
+        l2 = self.l2s[core]
+
+        if l1.access(line, pc, is_write).hit:
+            counters.l1_hits += 1
+            return HierarchyEvent(core, pc, line, "l1", is_write=is_write)
+
+        l2_outcome = l2.access(line, pc, is_write)
+        if l2_outcome.hit:
+            counters.l2_hits += 1
+            if l2_outcome.prefetch_hit == "l2":
+                counters.l2_prefetch_hits += 1
+            elif l2_outcome.prefetch_hit == "l1":
+                counters.l1pf_useful += 1
+            self._fill_l1(core, line, pc, is_write)
+            return HierarchyEvent(
+                core,
+                pc,
+                line,
+                "l2",
+                prefetch_hit_kind=l2_outcome.prefetch_hit,
+                is_write=is_write,
+            )
+
+        llc_outcome = self.llc.access(line, pc)
+        if llc_outcome.hit:
+            counters.llc_hits += 1
+            hit_level = "llc"
+        else:
+            counters.dram_accesses += 1
+            self.traffic.add("demand", LINE_SIZE)
+            self._fill_llc(line, pc)
+            hit_level = "dram"
+        self._fill_l2(core, line, pc, is_write)
+        self._fill_l1(core, line, pc, is_write)
+        return HierarchyEvent(core, pc, line, hit_level, is_write=is_write)
+
+    # -- prefetch path ---------------------------------------------------------
+
+    def prefetch(self, core: int, line: int, pc: int = 0, kind: str = "l2") -> str:
+        """Insert a prefetch for ``line`` into ``core``'s L2.
+
+        ``kind`` labels which prefetcher issued it ("l2" for the
+        prefetcher under evaluation, "l1" for the baseline stride
+        prefetcher).  Returns where the data came from: ``"redundant"``
+        (already in L2, dropped), ``"llc"`` (on-chip move, no DRAM
+        traffic) or ``"dram"`` (off-chip fetch, counted as prefetch
+        traffic).
+        """
+        counters = self.counters[core]
+        l2 = self.l2s[core]
+        if l2.contains(line):
+            if kind == "l2":
+                counters.prefetches_redundant += 1
+            else:
+                counters.l1pf_redundant += 1
+            return "redundant"
+        if kind == "l2":
+            counters.prefetches_issued += 1
+        else:
+            counters.l1pf_issued += 1
+        if self.llc.contains(line):
+            if kind == "l2":
+                counters.prefetch_fills_from_llc += 1
+            self._fill_l2(core, line, pc, is_write=False, prefetched=kind)
+            return "llc"
+        if kind == "l2":
+            counters.prefetch_fills_from_dram += 1
+        else:
+            counters.l1pf_fills_from_dram += 1
+        self.traffic.add("prefetch", LINE_SIZE)
+        self._fill_llc(line, pc)
+        self._fill_l2(core, line, pc, is_write=False, prefetched=kind)
+        return "dram"
+
+    # -- LLC way partitioning -----------------------------------------------
+
+    def resize_llc_data_ways(self, data_ways: int) -> None:
+        """Shrink or grow the LLC's data partition (Triage metadata takes
+        the remainder).  Dirty lines flushed by a shrink are written back.
+        """
+        evicted = self.llc.set_active_ways(data_ways)
+        for victim in evicted:
+            if victim.dirty:
+                self.traffic.add("writeback", LINE_SIZE)
+
+    # -- internals ---------------------------------------------------------
+
+    def _fill_l1(self, core: int, line: int, pc: int, is_write: bool) -> None:
+        victim = self.l1s[core].fill(line, pc, dirty=is_write)
+        if victim is not None and victim.dirty:
+            # Write-back to L2; L2 holds the line in an inclusive-ish
+            # hierarchy, but guard for the rare partition-resize race.
+            if not self.l2s[core].mark_dirty(victim.line):
+                if not self.llc.mark_dirty(victim.line):
+                    self.traffic.add("writeback", LINE_SIZE)
+
+    def _fill_l2(
+        self,
+        core: int,
+        line: int,
+        pc: int,
+        is_write: bool,
+        prefetched: Optional[str] = None,
+    ) -> None:
+        victim = self.l2s[core].fill(line, pc, dirty=is_write, prefetched=prefetched)
+        if victim is not None and victim.dirty:
+            if not self.llc.mark_dirty(victim.line):
+                self.traffic.add("writeback", LINE_SIZE)
+
+    def _fill_llc(self, line: int, pc: int) -> None:
+        victim = self.llc.fill(line, pc)
+        if victim is not None and victim.dirty:
+            self.traffic.add("writeback", LINE_SIZE)

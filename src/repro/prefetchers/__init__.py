@@ -1,0 +1,38 @@
+"""Prefetchers: Triage's baselines and competitors.
+
+Every prefetcher trains on the L2 access stream (L2 misses plus demand
+hits on prefetched L2 lines) and returns candidate line addresses, mirroring
+the paper's setup where "all prefetchers train on the L2 access stream,
+and prefetches are inserted into the L2".
+"""
+
+from repro.prefetchers.base import BasePrefetcher, PrefetchCandidate
+from repro.prefetchers.stride import StridePrefetcher
+from repro.prefetchers.best_offset import BestOffsetPrefetcher
+from repro.prefetchers.sms import SmsPrefetcher
+from repro.prefetchers.markov import MarkovPrefetcher
+from repro.prefetchers.stms import StmsPrefetcher
+from repro.prefetchers.domino import DominoPrefetcher
+from repro.prefetchers.isb import IsbPrefetcher
+from repro.prefetchers.misb import MisbPrefetcher
+from repro.prefetchers.hybrid import HybridPrefetcher
+from repro.prefetchers.ghb_delta import GhbDeltaPrefetcher
+from repro.prefetchers.sandbox import SandboxPrefetcher
+from repro.prefetchers.tcp import TagCorrelatingPrefetcher
+
+__all__ = [
+    "BasePrefetcher",
+    "BestOffsetPrefetcher",
+    "DominoPrefetcher",
+    "GhbDeltaPrefetcher",
+    "HybridPrefetcher",
+    "IsbPrefetcher",
+    "MarkovPrefetcher",
+    "MisbPrefetcher",
+    "PrefetchCandidate",
+    "SandboxPrefetcher",
+    "SmsPrefetcher",
+    "StmsPrefetcher",
+    "StridePrefetcher",
+    "TagCorrelatingPrefetcher",
+]

@@ -1,0 +1,62 @@
+"""Domino temporal prefetcher (Bakhshalipour et al., HPCA 2018).
+
+Domino improves on STMS by indexing the history buffer with the *pair* of
+the last two misses instead of a single address, which disambiguates
+streams that share a common address.  Like STMS it is global-stream and
+keeps its metadata off chip; following the paper we model it idealized
+(instant, traffic-free metadata).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.prefetchers.base import BasePrefetcher, PrefetchCandidate
+
+
+class DominoPrefetcher(BasePrefetcher):
+    """Idealized two-miss-indexed temporal streaming."""
+
+    name = "domino"
+
+    def __init__(self, degree: int = 1, history_capacity: int = 1 << 22):
+        super().__init__(degree)
+        self.history_capacity = history_capacity
+        self._history: List[int] = []
+        self._pair_index: Dict[Tuple[int, int], int] = {}
+        self._single_index: Dict[int, int] = {}
+        self._last_line: Optional[int] = None
+
+    def observe(
+        self, pc: int, line: int, prefetch_hit: bool = False
+    ) -> List[PrefetchCandidate]:
+        if len(self._history) >= self.history_capacity:
+            self._compact()
+        pos = len(self._history)
+        pair_pos = None
+        if self._last_line is not None:
+            pair = (self._last_line, line)
+            pair_pos = self._pair_index.get(pair)
+            self._pair_index[pair] = pos
+        single_pos = self._single_index.get(line)
+        self._single_index[line] = pos
+
+        self._history.append(line)
+        self._last_line = line
+
+        # Prefer the pair match (more precise); fall back to single-address.
+        anchor = pair_pos if pair_pos is not None else single_pos
+        if anchor is None:
+            return []
+        successors = self._history[anchor + 1 : anchor + 1 + self.degree]
+        return self.candidates([s for s in successors if s != line])
+
+    def _compact(self) -> None:
+        cut = len(self._history) // 2
+        self._history = self._history[cut:]
+        self._pair_index = {
+            k: pos - cut for k, pos in self._pair_index.items() if pos >= cut
+        }
+        self._single_index = {
+            k: pos - cut for k, pos in self._single_index.items() if pos >= cut
+        }

@@ -1,0 +1,63 @@
+"""GHB PC/DC: delta-correlation prefetching (Nesbit & Smith, 2005).
+
+The paper's related work contrasts Triage's full address correlation
+with "weaker forms of correlation, such as delta correlation [33]".
+This is that baseline: a Global History Buffer holds each PC's recent
+line addresses (linked by index table), and prediction matches the two
+most recent *deltas* against the PC's history, replaying the deltas
+that followed the previous occurrence of that delta pair.
+
+Delta correlation captures strides and repeating stride *patterns* with
+tiny metadata, but cannot reproduce arbitrary pointer chains -- which is
+exactly the gap temporal prefetchers fill.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List
+
+from repro.prefetchers.base import BasePrefetcher, PrefetchCandidate
+
+
+class GhbDeltaPrefetcher(BasePrefetcher):
+    """PC-localized delta-correlation over a bounded per-PC history."""
+
+    name = "ghb_pcdc"
+
+    def __init__(self, degree: int = 2, history_per_pc: int = 64, max_pcs: int = 256):
+        super().__init__(degree)
+        self.history_per_pc = history_per_pc
+        self.max_pcs = max_pcs
+        self._history: Dict[int, Deque[int]] = {}
+
+    def observe(
+        self, pc: int, line: int, prefetch_hit: bool = False
+    ) -> List[PrefetchCandidate]:
+        history = self._history.get(pc)
+        if history is None:
+            if len(self._history) >= self.max_pcs:
+                # Drop an arbitrary cold PC (dict preserves insertion
+                # order: the oldest-created entry goes).
+                self._history.pop(next(iter(self._history)))
+            history = deque(maxlen=self.history_per_pc)
+            self._history[pc] = history
+        history.append(line)
+        if len(history) < 4:
+            return []
+
+        lines = list(history)
+        deltas = [b - a for a, b in zip(lines, lines[1:])]
+        key = (deltas[-2], deltas[-1])
+        # Find the previous occurrence of this delta pair and replay what
+        # followed it.
+        for i in range(len(deltas) - 3, 0, -1):
+            if (deltas[i - 1], deltas[i]) == key:
+                replay = deltas[i + 1 : i + 1 + self.degree]
+                targets = []
+                current = line
+                for delta in replay:
+                    current += delta
+                    targets.append(current)
+                return self.candidates(targets)
+        return []

@@ -1,0 +1,119 @@
+"""Irregular Stream Buffer (Jain & Lin, MICRO 2013).
+
+ISB combines address correlation with PC localization by linearizing each
+PC's access stream into a *structural address space*: consecutive
+accesses by the same PC get consecutive structural addresses.  Two maps
+realize this -- physical->structural (PS) and structural->physical (SP) --
+and prediction becomes "translate the trigger, walk forward, translate
+back".  Each PS mapping carries a confidence counter so that one noisy
+pair does not rip a line out of a learned stream (remapping happens only
+after the counter drains).
+
+This implementation keeps both maps unbounded and charges no metadata
+traffic, i.e. it is the *idealized* PC-localized temporal prefetcher the
+paper uses as the 100% reference in Figure 9.  MISB
+(:mod:`repro.prefetchers.misb`) adds the realistic metadata caching and
+traffic on top of the same maps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.prefetchers.base import BasePrefetcher, PrefetchCandidate
+
+#: Structural addresses per stream; a new PC stream starts on a fresh
+#: granule boundary so streams never collide.
+STREAM_GRANULE = 256
+
+
+class IsbPrefetcher(BasePrefetcher):
+    """Idealized ISB: unbounded PS/SP maps, per-PC training unit."""
+
+    name = "isb"
+
+    def __init__(self, degree: int = 1, confidence_bits: int = 2):
+        super().__init__(degree)
+        self.confidence_max = (1 << confidence_bits) - 1
+        self._ps: Dict[int, int] = {}  # phys line -> structural address
+        self._sp: Dict[int, int] = {}  # structural address -> phys line
+        self._confidence: Dict[int, int] = {}  # phys line -> counter
+        self._training_last: Dict[int, int] = {}  # pc -> last phys line
+        self._next_stream = 0
+
+    # -- structural-address management --------------------------------------
+
+    def _allocate_stream(self, line: int) -> int:
+        struct = self._next_stream * STREAM_GRANULE
+        self._next_stream += 1
+        self._map(line, struct)
+        return struct
+
+    def _map(self, line: int, struct: int) -> None:
+        """Unconditionally install ``line -> struct`` (both directions)."""
+        old = self._ps.get(line)
+        if old is not None and self._sp.get(old) == line:
+            del self._sp[old]
+        self._ps[line] = struct
+        self._sp[struct] = line
+        self._confidence[line] = self.confidence_max
+
+    def _assign(self, line: int, struct: int) -> None:
+        """Ask for ``line`` to live at ``struct``, respecting confidence.
+
+        A line already mapped elsewhere loses one confidence point per
+        disagreement and is only remapped once the counter drains; the
+        slot's current occupant is likewise protected.
+        """
+        current = self._ps.get(line)
+        if current == struct:
+            self._confidence[line] = self.confidence_max
+            return
+        if current is not None:
+            conf = self._confidence.get(line, 0)
+            if conf > 0:
+                self._confidence[line] = conf - 1
+                return
+        occupant = self._sp.get(struct)
+        if occupant is not None and occupant != line:
+            occ_conf = self._confidence.get(occupant, 0)
+            if occ_conf > 0:
+                self._confidence[occupant] = occ_conf - 1
+                return  # slot is defended; try again another time
+            self._ps.pop(occupant, None)
+            self._confidence.pop(occupant, None)
+        self._map(line, struct)
+
+    # -- prefetcher interface -------------------------------------------------
+
+    def observe(
+        self, pc: int, line: int, prefetch_hit: bool = False
+    ) -> List[PrefetchCandidate]:
+        prev = self._training_last.get(pc)
+        self._training_last[pc] = line
+        if prev is not None and prev != line:
+            prev_struct = self._ps.get(prev)
+            if prev_struct is None:
+                prev_struct = self._allocate_stream(prev)
+            successor_struct = prev_struct + 1
+            if successor_struct % STREAM_GRANULE != 0:
+                self._assign(line, successor_struct)
+
+        struct = self._ps.get(line)
+        if struct is None:
+            return []
+        lines = []
+        for i in range(1, self.degree + 1):
+            s = struct + i
+            if s % STREAM_GRANULE == 0:
+                break
+            target = self._sp.get(s)
+            if target is None:
+                break
+            lines.append(target)
+        return self.candidates(lines)
+
+    @property
+    def mapped_pairs(self) -> int:
+        """Number of live structural mappings (metadata footprint proxy)."""
+        return len(self._sp)

@@ -1,0 +1,61 @@
+"""Markov prefetcher (Joseph & Grunwald, ISCA 1997).
+
+The original address-correlating prefetcher: a table maps each miss
+address to its most recent successors in the *global* (not PC-localized)
+miss stream.  We keep up to ``successors_per_entry`` successors per
+address in most-recent-first order -- prediction issues them in that
+order.  Table capacity is configurable in entries so the same class
+serves both the historical "too big for chip" configuration and the
+on-chip ablations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.prefetchers.base import BasePrefetcher, PrefetchCandidate
+
+
+class MarkovPrefetcher(BasePrefetcher):
+    """Global-stream successor table with LRU entry replacement."""
+
+    name = "markov"
+
+    def __init__(
+        self,
+        degree: int = 1,
+        table_entries: int = 1 << 20,
+        successors_per_entry: int = 4,
+    ):
+        super().__init__(degree)
+        self.table_entries = table_entries
+        self.successors_per_entry = successors_per_entry
+        self._table: "OrderedDict[int, List[int]]" = OrderedDict()
+        self._last_line: Optional[int] = None
+
+    def observe(
+        self, pc: int, line: int, prefetch_hit: bool = False
+    ) -> List[PrefetchCandidate]:
+        if self._last_line is not None and self._last_line != line:
+            self._record(self._last_line, line)
+        self._last_line = line
+
+        successors = self._table.get(line)
+        if not successors:
+            return []
+        self._table.move_to_end(line)
+        return self.candidates(successors[: self.degree])
+
+    def _record(self, prev: int, nxt: int) -> None:
+        successors = self._table.get(prev)
+        if successors is None:
+            if len(self._table) >= self.table_entries:
+                self._table.popitem(last=False)
+            self._table[prev] = [nxt]
+            return
+        if nxt in successors:
+            successors.remove(nxt)
+        successors.insert(0, nxt)
+        del successors[self.successors_per_entry:]
+        self._table.move_to_end(prev)

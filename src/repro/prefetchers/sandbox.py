@@ -1,0 +1,109 @@
+"""Sandbox prefetching (Pugsley et al., HPCA 2014) -- cited by the paper
+as prior art on *safe* evaluation of aggressive prefetchers.
+
+Candidate (aggressive) offset prefetchers run in a *sandbox*: instead of
+issuing real prefetches, each candidate marks the lines it would have
+fetched in a Bloom filter; later demand accesses that hit the filter
+score the candidate.  Only candidates whose score clears a threshold get
+to issue real prefetches, at a degree proportional to their score.
+
+Interesting next to Triage because it is the opposite philosophy:
+Sandbox makes *regular* prefetching safely aggressive, Triage makes
+*irregular* prefetching affordable -- and the two compose (try
+``sandbox+triage_1mb`` in the experiment harness).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prefetchers.base import BasePrefetcher, PrefetchCandidate
+
+#: Offsets evaluated, in sandbox rotation order (the HPCA'14 paper uses
+#: +/-1..8; we keep the positive side plus a couple of strides).
+CANDIDATE_OFFSETS = (1, 2, 3, 4, 5, 6, 7, 8, -1, -2, 16, 32)
+
+
+class _BloomFilter:
+    """Small double-hashed Bloom filter over line addresses."""
+
+    def __init__(self, bits: int = 2048):
+        self.bits = bits
+        self._words = 0
+
+    def add(self, line: int) -> None:
+        self._words |= 1 << (self._hash1(line) % self.bits)
+        self._words |= 1 << (self._hash2(line) % self.bits)
+
+    def __contains__(self, line: int) -> bool:
+        return bool(
+            self._words >> (self._hash1(line) % self.bits) & 1
+            and self._words >> (self._hash2(line) % self.bits) & 1
+        )
+
+    def clear(self) -> None:
+        self._words = 0
+
+    @staticmethod
+    def _hash1(line: int) -> int:
+        return (line * 2654435761) >> 7
+
+    @staticmethod
+    def _hash2(line: int) -> int:
+        return (line * 40503) >> 3
+
+
+class SandboxPrefetcher(BasePrefetcher):
+    """Offset prefetching gated by sandboxed trial periods."""
+
+    name = "sandbox"
+    PERIOD = 256  # accesses per sandbox trial
+    THRESHOLD = 64  # score needed for a candidate to go live
+
+    def __init__(self, degree: int = 4, offsets=CANDIDATE_OFFSETS):
+        super().__init__(degree)
+        self.offsets = list(offsets)
+        self._bloom = _BloomFilter()
+        self._trial_index = 0
+        self._trial_accesses = 0
+        self._trial_score = 0
+        #: offset -> last accepted score (drives live degree).
+        self.live_scores = {}
+
+    def observe(
+        self, pc: int, line: int, prefetch_hit: bool = False
+    ) -> List[PrefetchCandidate]:
+        # Score the current trial: did the sandboxed candidate "prefetch"
+        # this line earlier in the period?
+        if line in self._bloom:
+            self._trial_score += 1
+        offset = self.offsets[self._trial_index]
+        self._bloom.add(line + offset)
+        self._trial_accesses += 1
+        if self._trial_accesses >= self.PERIOD:
+            self._end_trial(offset)
+
+        # Live prefetching from previously accepted candidates, best
+        # scores first, within the degree budget.
+        targets: List[int] = []
+        for live_offset, score in sorted(
+            self.live_scores.items(), key=lambda kv: -kv[1]
+        ):
+            depth = min(self.degree, 1 + score // self.THRESHOLD)
+            for i in range(1, depth + 1):
+                target = line + live_offset * i
+                if target > 0 and target not in targets:
+                    targets.append(target)
+                if len(targets) >= self.degree:
+                    return self.candidates(targets)
+        return self.candidates(targets)
+
+    def _end_trial(self, offset: int) -> None:
+        if self._trial_score >= self.THRESHOLD:
+            self.live_scores[offset] = self._trial_score
+        else:
+            self.live_scores.pop(offset, None)
+        self._bloom.clear()
+        self._trial_score = 0
+        self._trial_accesses = 0
+        self._trial_index = (self._trial_index + 1) % len(self.offsets)

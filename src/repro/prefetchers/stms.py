@@ -1,0 +1,59 @@
+"""Sampled Temporal Memory Streaming (Wenisch et al., HPCA 2009).
+
+STMS records the global miss stream in a circular *history buffer* and
+keeps an *index table* mapping each address to its most recent position
+in that buffer.  On a miss to ``A``, the prefetcher looks up ``A``'s last
+occurrence and streams out the addresses that followed it.
+
+Both structures live off chip in the real design.  Following the paper
+("we model idealized versions of STMS and Domino, such that their
+off-chip metadata transactions complete instantly with no latency or
+traffic penalty"), this implementation gives the buffer and index
+unbounded on-the-side storage and charges no metadata traffic -- it is an
+upper bound on STMS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.prefetchers.base import BasePrefetcher, PrefetchCandidate
+
+
+class StmsPrefetcher(BasePrefetcher):
+    """Idealized GHB-based temporal streaming (global, not PC-localized)."""
+
+    name = "stms"
+
+    def __init__(self, degree: int = 1, history_capacity: int = 1 << 22):
+        super().__init__(degree)
+        self.history_capacity = history_capacity
+        self._history: List[int] = []
+        self._index: Dict[int, int] = {}
+
+    def observe(
+        self, pc: int, line: int, prefetch_hit: bool = False
+    ) -> List[PrefetchCandidate]:
+        if len(self._history) >= self.history_capacity:
+            self._compact()
+        prev_pos = self._index.get(line)
+
+        self._index[line] = len(self._history)
+        self._history.append(line)
+
+        if prev_pos is None:
+            return []
+        successors = self._history[prev_pos + 1 : prev_pos + 1 + self.degree]
+        # The entry at prev_pos+... may include the line we just appended.
+        lines = [s for s in successors if s != line]
+        return self.candidates(lines)
+
+    def _compact(self) -> None:
+        """Drop the oldest half of the history (circular-buffer wrap)."""
+        cut = len(self._history) // 2
+        self._history = self._history[cut:]
+        self._index = {
+            addr: pos - cut
+            for addr, pos in self._index.items()
+            if pos >= cut
+        }

@@ -1,0 +1,71 @@
+"""Tag Correlating Prefetcher (Hu, Martonosi & Kaxiras, HPCA 2003).
+
+Cited by the paper as another metadata-thrifty weakening of address
+correlation: correlate cache *tags* (per set) rather than full
+addresses, so one table entry serves every set that exhibits the same
+tag transition.  Compact, but tag aliasing across sets caps accuracy --
+the classic capacity/precision trade temporal prefetchers sit above.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.prefetchers.base import BasePrefetcher, PrefetchCandidate
+
+
+class TagCorrelatingPrefetcher(BasePrefetcher):
+    """Two-level tag-transition table, indexed by (previous tag, tag)."""
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        degree: int = 1,
+        set_bits: int = 11,
+        table_entries: int = 16_384,
+    ):
+        super().__init__(degree)
+        self.set_bits = set_bits
+        self.table_entries = table_entries
+        self._set_mask = (1 << set_bits) - 1
+        # (tag, tag') transition history per set: last tag seen per set.
+        self._last_tag_by_set: dict = {}
+        # (prev_tag, tag) -> next tag
+        self._table: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        self._last_pair_by_set: dict = {}
+
+    def _split(self, line: int) -> Tuple[int, int]:
+        return line >> self.set_bits, line & self._set_mask
+
+    def observe(
+        self, pc: int, line: int, prefetch_hit: bool = False
+    ) -> List[PrefetchCandidate]:
+        tag, set_idx = self._split(line)
+        prev_tag = self._last_tag_by_set.get(set_idx)
+        prev_pair = self._last_pair_by_set.get(set_idx)
+        if prev_pair is not None:
+            self._store(prev_pair, tag)
+        if prev_tag is not None:
+            self._last_pair_by_set[set_idx] = (prev_tag, tag)
+        self._last_tag_by_set[set_idx] = tag
+
+        pair = self._last_pair_by_set.get(set_idx)
+        if pair is None:
+            return []
+        targets = []
+        current_pair = pair
+        for _ in range(self.degree):
+            nxt = self._table.get(current_pair)
+            if nxt is None:
+                break
+            self._table.move_to_end(current_pair)
+            targets.append((nxt << self.set_bits) | set_idx)
+            current_pair = (current_pair[1], nxt)
+        return self.candidates(targets)
+
+    def _store(self, pair: Tuple[int, int], nxt: int) -> None:
+        if pair not in self._table and len(self._table) >= self.table_entries:
+            self._table.popitem(last=False)
+        self._table[pair] = nxt

@@ -1,0 +1,42 @@
+"""Cache replacement policies: LRU, Random, SRRIP, and Hawkeye/OPTgen."""
+
+from repro.replacement.base import ReplacementPolicy
+from repro.replacement.lru import LruPolicy
+from repro.replacement.random_policy import RandomPolicy
+from repro.replacement.srrip import SrripPolicy
+from repro.replacement.drrip import DrripPolicy
+from repro.replacement.optgen import OptGen
+from repro.replacement.hawkeye import HawkeyePolicy, HawkeyePredictor
+
+POLICIES = {
+    "lru": LruPolicy,
+    "random": RandomPolicy,
+    "srrip": SrripPolicy,
+    "drrip": DrripPolicy,
+    "hawkeye": HawkeyePolicy,
+}
+
+
+def make_policy(name: str, num_sets: int, num_ways: int) -> ReplacementPolicy:
+    """Instantiate the replacement policy registered under ``name``."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    return cls(num_sets, num_ways)
+
+
+__all__ = [
+    "DrripPolicy",
+    "HawkeyePolicy",
+    "HawkeyePredictor",
+    "LruPolicy",
+    "OptGen",
+    "POLICIES",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SrripPolicy",
+    "make_policy",
+]

@@ -1,0 +1,61 @@
+"""Interface every cache replacement policy implements.
+
+A policy is attached to one :class:`repro.memory.cache.Cache`.  The cache
+calls back into the policy on hits, fills and evictions, and asks it to
+pick a victim way when a set is full.  Policies are keyed purely by
+``(set_index, way)`` so the same implementation serves data caches and
+Triage's entry-granularity metadata store alike.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class ReplacementPolicy:
+    """Base class for replacement policies.
+
+    Subclasses must implement :meth:`victim` and usually override the
+    notification hooks.  ``num_sets`` and ``num_ways`` describe the geometry
+    of the structure being managed.
+    """
+
+    def __init__(self, num_sets: int, num_ways: int):
+        if num_sets <= 0 or num_ways <= 0:
+            raise ValueError("num_sets and num_ways must be positive")
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+
+    def on_hit(self, set_idx: int, way: int, pc: Optional[int] = None) -> None:
+        """Called when an access hits the line at ``(set_idx, way)``."""
+
+    def on_fill(self, set_idx: int, way: int, pc: Optional[int] = None) -> None:
+        """Called when a new line is installed at ``(set_idx, way)``."""
+
+    def on_evict(self, set_idx: int, way: int) -> None:
+        """Called when the line at ``(set_idx, way)`` is invalidated."""
+
+    def victim(
+        self,
+        set_idx: int,
+        candidate_ways: Sequence[int],
+        pc: Optional[int] = None,
+    ) -> int:
+        """Return the way to evict among ``candidate_ways`` (all valid)."""
+        raise NotImplementedError
+
+    def set_line_key(self, set_idx: int, way: int, key: int) -> None:
+        """Tell the policy which line now occupies ``(set_idx, way)``.
+
+        Only policies that sample the access stream by line identity (e.g.
+        Hawkeye) care; the default is a no-op.
+        """
+
+    def resize_ways(self, num_ways: int) -> None:
+        """Adjust the number of ways (used by way partitioning)."""
+        self.num_ways = num_ways
+
+
+def lru_stack(order: List[int]) -> List[int]:
+    """Debug helper: return a copy of an LRU recency stack."""
+    return list(order)

@@ -1,0 +1,69 @@
+"""Dynamic RRIP (DRRIP) with set dueling (Jaleel et al., ISCA 2010).
+
+SRRIP inserts every line at a long re-reference interval; BRRIP
+("bimodal") inserts at the *longest* interval except for a trickle of
+lines, which resists thrashing working sets.  DRRIP set-duels the two:
+a few leader sets always use SRRIP, a few always BRRIP, and a policy
+counter (PSEL) steers the follower sets toward whichever leader group
+misses less.  Included as a stronger LLC baseline than LRU for the
+replacement-sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.replacement.srrip import SrripPolicy
+
+
+class DrripPolicy(SrripPolicy):
+    """Set-dueling SRRIP/BRRIP on top of the SRRIP RRPV machinery."""
+
+    def __init__(
+        self,
+        num_sets: int,
+        num_ways: int,
+        rrpv_bits: int = 2,
+        leader_sets: int = 32,
+        psel_bits: int = 10,
+        brip_epsilon: float = 1 / 32,
+        seed: int = 0,
+    ):
+        super().__init__(num_sets, num_ways, rrpv_bits)
+        self._rng = random.Random(seed)
+        self.brip_epsilon = brip_epsilon
+        self.psel_max = (1 << psel_bits) - 1
+        self.psel = self.psel_max // 2
+        stride = max(1, num_sets // max(1, leader_sets))
+        self._srrip_leaders = set(range(0, num_sets, 2 * stride))
+        self._brrip_leaders = set(range(stride, num_sets, 2 * stride))
+
+    def _uses_brrip(self, set_idx: int) -> bool:
+        if set_idx in self._srrip_leaders:
+            return False
+        if set_idx in self._brrip_leaders:
+            return True
+        return self.psel < self.psel_max // 2
+
+    def on_fill(self, set_idx: int, way: int, pc: Optional[int] = None) -> None:
+        # Leader sets train PSEL: a fill means the set missed.
+        if set_idx in self._srrip_leaders:
+            self.psel = max(0, self.psel - 1)
+        elif set_idx in self._brrip_leaders:
+            self.psel = min(self.psel_max, self.psel + 1)
+        if self._uses_brrip(set_idx):
+            if self._rng.random() < self.brip_epsilon:
+                self._rrpv[set_idx][way] = self.max_rrpv - 1
+            else:
+                self._rrpv[set_idx][way] = self.max_rrpv
+        else:
+            self._rrpv[set_idx][way] = self.max_rrpv - 1
+
+    def victim(
+        self,
+        set_idx: int,
+        candidate_ways: Sequence[int],
+        pc: Optional[int] = None,
+    ) -> int:
+        return super().victim(set_idx, candidate_ways, pc)

@@ -1,0 +1,50 @@
+"""Least-recently-used replacement."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.replacement.base import ReplacementPolicy
+
+
+class LruPolicy(ReplacementPolicy):
+    """Classic LRU: evict the candidate touched longest ago.
+
+    Recency is tracked with a per-set monotone timestamp, which is cheaper
+    in Python than maintaining an explicit recency stack and behaves
+    identically.
+    """
+
+    def __init__(self, num_sets: int, num_ways: int):
+        super().__init__(num_sets, num_ways)
+        self._clock = 0
+        self._last_touch = [[-1] * num_ways for _ in range(num_sets)]
+
+    def _touch(self, set_idx: int, way: int) -> None:
+        self._clock += 1
+        self._last_touch[set_idx][way] = self._clock
+
+    def on_hit(self, set_idx: int, way: int, pc: Optional[int] = None) -> None:
+        self._touch(set_idx, way)
+
+    def on_fill(self, set_idx: int, way: int, pc: Optional[int] = None) -> None:
+        self._touch(set_idx, way)
+
+    def on_evict(self, set_idx: int, way: int) -> None:
+        self._last_touch[set_idx][way] = -1
+
+    def victim(
+        self,
+        set_idx: int,
+        candidate_ways: Sequence[int],
+        pc: Optional[int] = None,
+    ) -> int:
+        touches = self._last_touch[set_idx]
+        return min(candidate_ways, key=lambda way: touches[way])
+
+    def resize_ways(self, num_ways: int) -> None:
+        if num_ways > self.num_ways:
+            grow = num_ways - self.num_ways
+            for row in self._last_touch:
+                row.extend([-1] * grow)
+        super().resize_ways(num_ways)

@@ -1,0 +1,104 @@
+"""OPTgen: an efficient emulator of Belady's optimal policy for the past.
+
+OPTgen (Jain & Lin, "Back to the Future", ISCA 2016) answers, for each
+access in a stream, whether the optimal replacement policy *would have*
+hit, using only past information.  It keeps an occupancy vector over a
+sliding window of recent accesses: an access to ``X`` whose previous use
+lies inside the window is an OPT hit iff the cache had spare capacity at
+every point of the liveness interval, in which case the interval's
+occupancy is incremented.
+
+Triage uses OPTgen twice: inside the Hawkeye policy that manages its
+metadata store, and as the pair of "sandbox" models that drive dynamic
+partitioning of the LLC (Section 3 of the paper: each copy costs ~1 KB in
+hardware and models the optimal metadata hit rate at one candidate store
+size).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class OptGen:
+    """Occupancy-vector emulation of OPT for a cache of ``capacity`` lines.
+
+    ``history_mult`` controls the usage-interval window: Hawkeye examines a
+    history 8x the cache size, the default here.
+
+    :meth:`access` returns ``None`` for the first (compulsory) access to a
+    key, ``True`` when OPT would hit and ``False`` when OPT would miss.
+    """
+
+    def __init__(self, capacity: int, history_mult: int = 8):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.window = capacity * history_mult
+        self._time = 0
+        self._base_time = 0  # timestamp of _occupancy[0]
+        self._occupancy: List[int] = []
+        self._last_access: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.compulsory = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed, including compulsory ones."""
+        return self.hits + self.misses + self.compulsory
+
+    def hit_rate(self) -> float:
+        """Fraction of all accesses that OPT would hit (0.0 if none seen)."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def demand_hit_rate(self) -> float:
+        """Hit rate over non-compulsory accesses only."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def access(self, key: int) -> Optional[bool]:
+        """Record an access to ``key`` and return OPT's verdict for it."""
+        now = self._time
+        self._time += 1
+        self._occupancy.append(0)
+        # Slide the window; compact in batches so indexing stays O(1)
+        # without paying a front-pop on every access.
+        if len(self._occupancy) > 2 * self.window:
+            drop = len(self._occupancy) - self.window
+            del self._occupancy[:drop]
+            self._base_time += drop
+
+        prev = self._last_access.get(key)
+        self._last_access[key] = now
+        self._maybe_prune()
+
+        if prev is None or prev < self._base_time:
+            self.compulsory += 1
+            return None
+
+        start = prev - self._base_time
+        end = now - self._base_time  # exclusive
+        occ = self._occupancy
+        if all(occ[i] < self.capacity for i in range(start, end)):
+            for i in range(start, end):
+                occ[i] += 1
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (keeps learned state)."""
+        self.hits = 0
+        self.misses = 0
+        self.compulsory = 0
+
+    def _maybe_prune(self) -> None:
+        """Drop last-access records that fell out of the window."""
+        if len(self._last_access) > 4 * self.window:
+            base = self._base_time
+            self._last_access = {
+                key: t for key, t in self._last_access.items() if t >= base
+            }

@@ -1,0 +1,27 @@
+"""Seeded pseudo-random replacement (a lower-bound baseline)."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.replacement.base import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random candidate.
+
+    The RNG is seeded from the geometry so simulations are reproducible.
+    """
+
+    def __init__(self, num_sets: int, num_ways: int, seed: int = 0):
+        super().__init__(num_sets, num_ways)
+        self._rng = random.Random(seed ^ (num_sets * 31 + num_ways))
+
+    def victim(
+        self,
+        set_idx: int,
+        candidate_ways: Sequence[int],
+        pc: Optional[int] = None,
+    ) -> int:
+        return candidate_ways[self._rng.randrange(len(candidate_ways))]

@@ -1,0 +1,53 @@
+"""Static RRIP (SRRIP) replacement, Jaleel et al., ISCA 2010.
+
+Each line carries a re-reference prediction value (RRPV).  Fills insert
+with a long re-reference interval (RRPV = max-1), hits promote to 0, and
+the victim is any line with RRPV = max (aging all lines until one
+qualifies).  SRRIP is scan-resistant, which makes it a meaningful contrast
+to LRU in the metadata-replacement ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.replacement.base import ReplacementPolicy
+
+
+class SrripPolicy(ReplacementPolicy):
+    """SRRIP with ``2**rrpv_bits - 1`` as the distant-future RRPV."""
+
+    def __init__(self, num_sets: int, num_ways: int, rrpv_bits: int = 2):
+        super().__init__(num_sets, num_ways)
+        self.max_rrpv = (1 << rrpv_bits) - 1
+        self._rrpv = [[self.max_rrpv] * num_ways for _ in range(num_sets)]
+
+    def on_hit(self, set_idx: int, way: int, pc: Optional[int] = None) -> None:
+        self._rrpv[set_idx][way] = 0
+
+    def on_fill(self, set_idx: int, way: int, pc: Optional[int] = None) -> None:
+        self._rrpv[set_idx][way] = self.max_rrpv - 1
+
+    def on_evict(self, set_idx: int, way: int) -> None:
+        self._rrpv[set_idx][way] = self.max_rrpv
+
+    def victim(
+        self,
+        set_idx: int,
+        candidate_ways: Sequence[int],
+        pc: Optional[int] = None,
+    ) -> int:
+        rrpvs = self._rrpv[set_idx]
+        while True:
+            for way in candidate_ways:
+                if rrpvs[way] >= self.max_rrpv:
+                    return way
+            for way in candidate_ways:
+                rrpvs[way] += 1
+
+    def resize_ways(self, num_ways: int) -> None:
+        if num_ways > self.num_ways:
+            grow = num_ways - self.num_ways
+            for row in self._rrpv:
+                row.extend([self.max_rrpv] * grow)
+        super().resize_ways(num_ways)

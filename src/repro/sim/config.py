@@ -1,0 +1,99 @@
+"""Machine configurations (paper Table 1).
+
+Latencies are in core cycles at 2 GHz; DRAM's 85 ns base latency is 170
+cycles and the 32 GB/s memory system moves 16 bytes per cycle (shared by
+all cores in multi-core configurations, which is what makes the 16-core
+mixes bandwidth-constrained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Core + memory-system parameters for one simulation."""
+
+    n_cores: int = 1
+    # Caches (Table 1 geometry).
+    l1_size: int = 64 * KB
+    l1_ways: int = 4
+    l2_size: int = 512 * KB
+    l2_ways: int = 8
+    l2_latency: int = 11
+    llc_size_per_core: int = 2 * MB
+    llc_ways: int = 16
+    llc_latency: int = 20
+    llc_policy: str = "lru"
+    #: Extra cycles added to LLC accesses (Section 4.6 sensitivity: the
+    #: fine-grained metadata lines may lengthen the LLC pipeline).
+    extra_llc_latency: int = 0
+    # DRAM.
+    dram_latency_cycles: float = 170.0
+    dram_bandwidth_bytes_per_cycle: float = 16.0
+    # Core: 4-wide fetch/dispatch -> 0.25 CPI floor on non-memory work.
+    base_cpi: float = 0.25
+    #: Baseline L1D prefetcher (Table 1 ships a stride prefetcher at the
+    #: L1D in *every* configuration, including "no L2PF").  "none"
+    #: disables it.
+    l1_prefetcher: str = "stride"
+    l1_prefetcher_degree: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if self.llc_ways <= 0 or self.llc_size_per_core <= 0:
+            raise ValueError("LLC geometry must be positive")
+
+    @property
+    def llc_total_size(self) -> int:
+        return self.llc_size_per_core * self.n_cores
+
+    @property
+    def llc_way_bytes(self) -> int:
+        """Capacity of one LLC way (the unit of Triage's partitioning)."""
+        return self.llc_total_size // self.llc_ways
+
+    def metadata_ways(self, capacity_bytes: int) -> int:
+        """LLC ways needed to hold ``capacity_bytes`` of metadata."""
+        if capacity_bytes <= 0:
+            return 0
+        return -(-capacity_bytes // self.llc_way_bytes)  # ceil division
+
+    def with_cores(self, n_cores: int) -> "MachineConfig":
+        """This configuration scaled to ``n_cores`` (shared LLC grows)."""
+        return replace(self, n_cores=n_cores)
+
+    @classmethod
+    def single_core(cls, **overrides) -> "MachineConfig":
+        """The paper's single-core machine."""
+        return cls(**overrides)
+
+    @classmethod
+    def scaled(cls, factor: int = 4, n_cores: int = 1, **overrides) -> "MachineConfig":
+        """Table 1 with every cache divided by ``factor``.
+
+        Associativities, latencies and DRAM parameters are unchanged, so
+        every capacity *ratio* the paper's evaluation depends on (working
+        set : LLC, metadata store : LLC, ways per partition step) is
+        preserved.  Experiments pair this with
+        ``workloads.spec.make_trace(..., scale=factor)``.
+        """
+        params = dict(
+            n_cores=n_cores,
+            l1_size=(64 * KB) // factor,
+            l2_size=(512 * KB) // factor,
+            llc_size_per_core=(2 * MB) // factor,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def multi_core(cls, n_cores: int, **overrides) -> "MachineConfig":
+        """The paper's multi-core machine: same per-core resources, one
+        shared 32 GB/s memory system."""
+        return cls(n_cores=n_cores, **overrides)

@@ -1,0 +1,57 @@
+"""Metadata-access energy model (paper Section 4.3, Figure 13).
+
+Following the paper: "we count the number of LLC accesses for metadata,
+assuming 1 unit of energy for each LLC access.  To estimate the energy
+consumption of MISB's memory accesses, we count the number of off-chip
+metadata accesses and multiply it by the average energy of a DRAM
+access" -- 25 units nominal, with 10/50-unit lower/upper bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+LLC_ACCESS_ENERGY = 1.0
+DRAM_ACCESS_ENERGY_NOMINAL = 25.0
+DRAM_ACCESS_ENERGY_LOW = 10.0
+DRAM_ACCESS_ENERGY_HIGH = 50.0
+
+
+def metadata_energy(
+    llc_accesses: int,
+    dram_accesses: int,
+    dram_unit: float = DRAM_ACCESS_ENERGY_NOMINAL,
+) -> float:
+    """Energy units consumed by a prefetcher's metadata accesses."""
+    return llc_accesses * LLC_ACCESS_ENERGY + dram_accesses * dram_unit
+
+
+@dataclass
+class EnergyComparison:
+    """MISB-vs-Triage metadata energy, with DRAM-energy error bars."""
+
+    nominal: float
+    low: float
+    high: float
+
+
+def misb_vs_triage_energy(
+    misb_dram_accesses: int,
+    misb_llc_accesses: int,
+    triage_llc_accesses: int,
+) -> EnergyComparison:
+    """Energy overhead of MISB's metadata accesses over Triage's (x)."""
+    triage = metadata_energy(triage_llc_accesses, 0)
+    if triage <= 0:
+        return EnergyComparison(0.0, 0.0, 0.0)
+    return EnergyComparison(
+        nominal=metadata_energy(misb_llc_accesses, misb_dram_accesses) / triage,
+        low=metadata_energy(
+            misb_llc_accesses, misb_dram_accesses, DRAM_ACCESS_ENERGY_LOW
+        )
+        / triage,
+        high=metadata_energy(
+            misb_llc_accesses, misb_dram_accesses, DRAM_ACCESS_ENERGY_HIGH
+        )
+        / triage,
+    )

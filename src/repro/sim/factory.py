@@ -1,0 +1,118 @@
+"""Prefetcher factory: build any evaluated configuration by name.
+
+Names mirror the paper's figures::
+
+    "bo"               Best-Offset (Figure 5's BO)
+    "sms"              Spatial Memory Streaming
+    "stride"           PC-stride (Table 1's L1 prefetcher)
+    "markov"           Markov table prefetcher
+    "stms"             idealized STMS
+    "domino"           idealized Domino
+    "isb"              idealized ISB (the "Perfect" line of Figure 9)
+    "misb"             MISB with a 48 KB on-chip metadata budget
+    "triage"           Triage-Static with a 1 MB store (alias triage_1mb)
+    "triage_512kb"     Triage-Static, 512 KB store
+    "triage_1mb"       Triage-Static, 1 MB store
+    "triage_dynamic"   Triage-Dynamic (0/512 KB/1 MB partitioning)
+    "triage_lru"       Triage-Static 1 MB with LRU metadata replacement
+    "triage_ideal"     Triage with an unbounded metadata store
+    "a+b"              hybrid of a and b (e.g. "bo+triage_dynamic")
+
+A :class:`~repro.core.triage.TriageConfig`, an already-built
+:class:`~repro.prefetchers.base.BasePrefetcher`, or a zero-argument
+callable returning one (used by multi-core runs to build a fresh
+instance per core) may be passed instead of a name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.core.triage import TriageConfig, TriagePrefetcher
+from repro.prefetchers import (
+    BasePrefetcher,
+    BestOffsetPrefetcher,
+    DominoPrefetcher,
+    GhbDeltaPrefetcher,
+    HybridPrefetcher,
+    IsbPrefetcher,
+    MarkovPrefetcher,
+    MisbPrefetcher,
+    SandboxPrefetcher,
+    SmsPrefetcher,
+    StmsPrefetcher,
+    StridePrefetcher,
+    TagCorrelatingPrefetcher,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+PrefetcherSpec = Union[
+    None, str, TriageConfig, BasePrefetcher, Callable[[], Optional[BasePrefetcher]]
+]
+
+
+def make_prefetcher(
+    spec: PrefetcherSpec, degree: int = 1
+) -> Optional[BasePrefetcher]:
+    """Build the prefetcher described by ``spec`` (None = no prefetching)."""
+    if spec is None:
+        return None
+    if isinstance(spec, BasePrefetcher):
+        return spec
+    if isinstance(spec, TriageConfig):
+        return TriagePrefetcher(spec)
+    if callable(spec) and not isinstance(spec, str):
+        built = spec()
+        if callable(built) and not isinstance(built, (str, BasePrefetcher)):
+            raise TypeError("prefetcher factory returned another callable")
+        if built is not None and not isinstance(
+            built, (str, TriageConfig, BasePrefetcher)
+        ):
+            raise TypeError(
+                f"prefetcher factory returned {type(built).__name__}, "
+                "expected a prefetcher spec or None"
+            )
+        return make_prefetcher(built, degree)
+    if not isinstance(spec, str):
+        raise TypeError(f"unsupported prefetcher spec {spec!r}")
+
+    name = spec.lower().strip()
+    if name in ("", "none"):
+        return None
+    if "+" in name:
+        parts = [p for p in name.split("+") if p]
+        built = [make_prefetcher(p, degree) for p in parts]
+        return HybridPrefetcher([b for b in built if b is not None])
+
+    simple = {
+        "bo": lambda: BestOffsetPrefetcher(degree=degree),
+        "sms": lambda: SmsPrefetcher(degree=degree),
+        "stride": lambda: StridePrefetcher(degree=degree),
+        "markov": lambda: MarkovPrefetcher(degree=degree),
+        "stms": lambda: StmsPrefetcher(degree=degree),
+        "domino": lambda: DominoPrefetcher(degree=degree),
+        "isb": lambda: IsbPrefetcher(degree=degree),
+        "misb": lambda: MisbPrefetcher(degree=degree),
+        "ghb_pcdc": lambda: GhbDeltaPrefetcher(degree=degree),
+        "tcp": lambda: TagCorrelatingPrefetcher(degree=degree),
+        "sandbox": lambda: SandboxPrefetcher(degree=max(degree, 4)),
+    }
+    if name in simple:
+        return simple[name]()
+
+    triage_configs = {
+        "triage": TriageConfig(degree=degree, metadata_capacity=1 * MB),
+        "triage_1mb": TriageConfig(degree=degree, metadata_capacity=1 * MB),
+        "triage_512kb": TriageConfig(degree=degree, metadata_capacity=512 * KB),
+        "triage_dynamic": TriageConfig(degree=degree, dynamic=True),
+        "triage_lru": TriageConfig(
+            degree=degree, metadata_capacity=1 * MB, replacement="lru"
+        ),
+        "triage_ideal": TriageConfig(degree=degree, metadata_capacity=None),
+    }
+    if name in triage_configs:
+        return TriagePrefetcher(triage_configs[name])
+
+    raise ValueError(f"unknown prefetcher {spec!r}")

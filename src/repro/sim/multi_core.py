@@ -1,0 +1,214 @@
+"""Multi-core simulation: private L1/L2 per core, shared LLC and DRAM.
+
+Follows the paper's multi-programmed methodology: each core runs its own
+trace; cores that exhaust their trace restart it so every benchmark
+observes contention for the whole run; Triage computes a per-core
+metadata allocation (per-core controllers and stores) and the shared LLC
+loses one data way per allocated metadata way.
+
+Bandwidth is the shared resource that makes these runs interesting: all
+cores drain the same 32 GB/s DRAM model, so high-traffic prefetchers
+(MISB's metadata, BO's inaccurate prefetches) inflate everyone's memory
+latency -- the mechanism behind Figures 11, 12 and 17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.memory.dram import DramModel
+from repro.memory.hierarchy import CacheHierarchy
+from repro.prefetchers.base import BasePrefetcher
+from repro.prefetchers.hybrid import HybridPrefetcher
+from repro.sim.config import MachineConfig
+from repro.sim.factory import PrefetcherSpec, make_prefetcher
+from repro.sim.single_core import (
+    _MetadataPartition,
+    make_l1_prefetcher,
+    triage_components,
+)
+from repro.sim.stats import MultiCoreResult, SimulationResult
+from repro.sim.timing import EpochLoad, resolve_epoch
+from repro.workloads.base import Trace
+
+
+def simulate_multicore(
+    traces: Sequence[Trace],
+    prefetcher: PrefetcherSpec = None,
+    machine: Optional[MachineConfig] = None,
+    degree: int = 1,
+    accesses_per_core: Optional[int] = None,
+    epoch_accesses: int = 2_000,
+    charge_metadata_to_llc: bool = True,
+    warmup_accesses_per_core: int = 0,
+) -> MultiCoreResult:
+    """Simulate one trace per core on a shared LLC + DRAM.
+
+    ``prefetcher`` is instantiated once per core (each core trains its own
+    prefetcher, as in ChampSim); Triage instances additionally share the
+    LLC partition, with the data-way count tracking the *sum* of per-core
+    metadata allocations.
+    """
+    n_cores = len(traces)
+    if n_cores == 0:
+        raise ValueError("need at least one trace")
+    config = machine or MachineConfig.multi_core(n_cores)
+    if config.n_cores != n_cores:
+        raise ValueError(
+            f"machine is configured for {config.n_cores} cores, got {n_cores} traces"
+        )
+    if accesses_per_core is None:
+        accesses_per_core = min(len(t) for t in traces)
+
+    prefetchers: List[Optional[BasePrefetcher]] = [
+        make_prefetcher(prefetcher, degree=degree) for _ in range(n_cores)
+    ]
+    hierarchy = CacheHierarchy(
+        n_cores=n_cores,
+        l1_size=config.l1_size,
+        l1_ways=config.l1_ways,
+        l2_size=config.l2_size,
+        l2_ways=config.l2_ways,
+        llc_size_per_core=config.llc_size_per_core,
+        llc_ways=config.llc_ways,
+        llc_policy=config.llc_policy,
+    )
+    dram = DramModel(
+        base_latency_cycles=config.dram_latency_cycles,
+        bandwidth_bytes_per_cycle=config.dram_bandwidth_bytes_per_cycle,
+    )
+    all_triages = [
+        t for pf in prefetchers for t in triage_components(pf)
+    ]
+    _MetadataPartition(hierarchy, config, all_triages, charge_metadata_to_llc)
+    l1pfs = [make_l1_prefetcher(config) for _ in range(n_cores)]
+
+    records = [list(t) for t in traces]
+    positions = [0] * n_cores
+    per_core_metadata_bytes = [0] * n_cores
+    per_core_cycles = [0.0] * n_cores
+    prev_counters = [(0, 0, 0)] * n_cores
+    prev_bytes = 0
+    accesses_in_epoch = 0
+    traffic_offset: dict = {}
+
+    def close_epoch() -> None:
+        nonlocal prev_counters, prev_bytes, accesses_in_epoch
+        if accesses_in_epoch == 0:
+            return
+        loads = []
+        for core in range(n_cores):
+            counters = hierarchy.counters[core]
+            snap = prev_counters[core]
+            loads.append(
+                EpochLoad(
+                    instructions=accesses_in_epoch * traces[core].instr_per_access,
+                    l2_hits=counters.l2_hits - snap[0],
+                    llc_hits=counters.llc_hits - snap[1],
+                    dram_accesses=counters.dram_accesses - snap[2],
+                    mlp=traces[core].mlp,
+                )
+            )
+        epoch_bytes = hierarchy.traffic.total_bytes - prev_bytes
+        cycles = resolve_epoch(loads, epoch_bytes, config, dram)
+        for core in range(n_cores):
+            per_core_cycles[core] += cycles[core]
+            counters = hierarchy.counters[core]
+            prev_counters[core] = (
+                counters.l2_hits,
+                counters.llc_hits,
+                counters.dram_accesses,
+            )
+        prev_bytes = hierarchy.traffic.total_bytes
+        accesses_in_epoch = 0
+
+    for step in range(warmup_accesses_per_core + accesses_per_core):
+        if step == warmup_accesses_per_core and warmup_accesses_per_core > 0:
+            # Warmup ends (paper: "we warm the cache ... and measure the
+            # behavior of the next N instructions").
+            for core in range(n_cores):
+                hierarchy.counters[core] = type(hierarchy.counters[core])()
+                prev_counters[core] = (0, 0, 0)
+                per_core_cycles[core] = 0.0
+                per_core_metadata_bytes[core] = 0
+            prev_bytes = hierarchy.traffic.total_bytes
+            traffic_offset = hierarchy.traffic.snapshot()
+            accesses_in_epoch = 0
+        for core in range(n_cores):
+            core_records = records[core]
+            pc, addr, is_write = core_records[positions[core]]
+            positions[core] = (positions[core] + 1) % len(core_records)
+            event = hierarchy.access(core, pc, addr, is_write)
+            l1pf = l1pfs[core]
+            if l1pf is not None:
+                for candidate in l1pf.observe(pc, event.line):
+                    hierarchy.prefetch(core, candidate.line, pc, kind="l1")
+            pf = prefetchers[core]
+            if pf is not None and event.trains_l2_prefetcher:
+                candidates = pf.observe(
+                    event.pc, event.line, prefetch_hit=event.l2_prefetch_hit
+                )
+                for candidate in candidates:
+                    source = hierarchy.prefetch(core, candidate.line, event.pc)
+                    owner = candidate.owner or pf
+                    owner.feedback(candidate, source)
+                metadata_bytes = pf.drain_metadata_traffic()
+                if metadata_bytes:
+                    hierarchy.traffic.add("metadata", metadata_bytes)
+                    per_core_metadata_bytes[core] += metadata_bytes
+        accesses_in_epoch += 1
+        if accesses_in_epoch >= epoch_accesses:
+            close_epoch()
+    close_epoch()
+
+    per_core_results = []
+    for core in range(n_cores):
+        pf = prefetchers[core]
+        triages = triage_components(pf)
+        metadata_llc = sum(t.store.llc_accesses for t in triages)
+        if isinstance(pf, HybridPrefetcher):
+            metadata_dram = pf.total_metadata_dram_accesses
+        else:
+            metadata_dram = pf.metadata_dram_accesses if pf is not None else 0
+        counters = hierarchy.counters[core]
+        partition_history = []
+        final_capacity = None
+        for triage in triages:
+            if triage.controller is not None:
+                partition_history = [
+                    d.capacity_bytes for d in triage.controller.decisions
+                ]
+            if not triage.store.unbounded:
+                final_capacity = triage.metadata_capacity_bytes
+        per_core_results.append(
+            SimulationResult(
+                workload=traces[core].name,
+                prefetcher=pf.name if pf is not None else "none",
+                instructions=accesses_per_core * traces[core].instr_per_access,
+                cycles=per_core_cycles[core],
+                counters=replace(counters),
+                traffic={
+                    "demand": counters.dram_accesses * 64,
+                    "prefetch": counters.prefetch_fills_from_dram * 64,
+                    "writeback": 0,
+                    "metadata": per_core_metadata_bytes[core],
+                },
+                metadata_llc_accesses=metadata_llc,
+                metadata_dram_accesses=metadata_dram,
+                final_metadata_capacity=final_capacity,
+                partition_history=partition_history,
+            )
+        )
+    traffic = {
+        category: total - traffic_offset.get(category, 0)
+        for category, total in hierarchy.traffic.snapshot().items()
+    }
+    return MultiCoreResult(
+        workloads=[t.name for t in traces],
+        prefetcher=(
+            prefetchers[0].name if prefetchers[0] is not None else "none"
+        ),
+        per_core=per_core_results,
+        traffic=traffic,
+    )

@@ -1,0 +1,79 @@
+"""Miss Status Holding Registers.
+
+An MSHR file bounds the number of outstanding misses (the hardware's
+memory-level parallelism limit) and merges secondary misses to a line
+already in flight, exactly like the structure it models:
+
+* ``allocate`` a new miss -> returns False when full (the core stalls);
+* a second request to an in-flight line *merges* (no new entry);
+* ``complete`` frees the entry and reports whether any demand merged
+  into what started as a prefetch (a late-but-useful prefetch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MshrEntry:
+    """One outstanding miss."""
+
+    line: int
+    is_prefetch: bool
+    issue_cycle: float
+    #: Demand requests that arrived while the line was in flight.
+    merged_demands: int = 0
+
+
+class MshrFile:
+    """Fixed-capacity MSHR file with merge semantics."""
+
+    def __init__(self, capacity: int = 16):
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, MshrEntry] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line: int) -> Optional[MshrEntry]:
+        return self._entries.get(line)
+
+    def allocate(
+        self, line: int, cycle: float, is_prefetch: bool = False
+    ) -> Optional[MshrEntry]:
+        """Track a new miss; None when an entry can't be allocated.
+
+        A request to a line already in flight merges instead (demands
+        upgrade a prefetch entry's priority implicitly by being counted).
+        """
+        existing = self._entries.get(line)
+        if existing is not None:
+            self.merges += 1
+            if not is_prefetch:
+                existing.merged_demands += 1
+            return existing
+        if self.full:
+            self.full_stalls += 1
+            return None
+        entry = MshrEntry(line=line, is_prefetch=is_prefetch, issue_cycle=cycle)
+        self._entries[line] = entry
+        self.allocations += 1
+        return entry
+
+    def complete(self, line: int) -> Optional[MshrEntry]:
+        """Retire the entry for ``line`` (fill arrived)."""
+        return self._entries.pop(line, None)
+
+    def outstanding_lines(self) -> List[int]:
+        return list(self._entries)

@@ -1,0 +1,222 @@
+"""Single-core trace simulation (the paper's Section 4.2 setup).
+
+``simulate(trace, prefetcher=...)`` runs one workload through the Table-1
+hierarchy: demand accesses walk L1D -> L2 -> LLC -> DRAM, the prefetcher
+trains on the L2 miss + prefetch-hit stream and inserts into the L2, and
+Triage's metadata store both occupies LLC ways (via way partitioning)
+and is resized on the fly by the dynamic controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.core.triage import TriagePrefetcher
+from repro.memory.dram import DramModel
+from repro.memory.hierarchy import CacheHierarchy, CoreCounters
+from repro.prefetchers.base import BasePrefetcher
+from repro.prefetchers.hybrid import HybridPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+from repro.sim.config import MachineConfig
+from repro.sim.factory import PrefetcherSpec, make_prefetcher
+from repro.sim.stats import SimulationResult
+from repro.sim.timing import EpochLoad, resolve_epoch
+from repro.workloads.base import Trace
+
+
+def triage_components(prefetcher: Optional[BasePrefetcher]) -> List[TriagePrefetcher]:
+    """All Triage instances inside ``prefetcher`` (hybrids included)."""
+    if prefetcher is None:
+        return []
+    if isinstance(prefetcher, TriagePrefetcher):
+        return [prefetcher]
+    if isinstance(prefetcher, HybridPrefetcher):
+        found: List[TriagePrefetcher] = []
+        for component in prefetcher.components:
+            found.extend(triage_components(component))
+        return found
+    return []
+
+
+class _MetadataPartition:
+    """Keeps the LLC's data ways in sync with Triage's metadata usage."""
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        config: MachineConfig,
+        triages: List[TriagePrefetcher],
+        charge_llc: bool = True,
+    ):
+        self.hierarchy = hierarchy
+        self.config = config
+        self.triages = triages
+        self.charge_llc = charge_llc
+        for triage in triages:
+            triage.on_partition_change = lambda _capacity: self.apply()
+        self.apply()
+
+    def metadata_bytes(self) -> int:
+        return sum(
+            t.metadata_capacity_bytes for t in self.triages if not t.store.unbounded
+        )
+
+    def apply(self) -> None:
+        if not self.charge_llc:
+            return
+        ways = self.config.metadata_ways(self.metadata_bytes())
+        data_ways = self.config.llc_ways - ways
+        if data_ways < 1:
+            raise ValueError("metadata would consume the entire LLC")
+        if data_ways != self.hierarchy.llc.active_ways:
+            self.hierarchy.resize_llc_data_ways(data_ways)
+
+
+def make_l1_prefetcher(config: MachineConfig) -> Optional[StridePrefetcher]:
+    """The baseline L1D prefetcher from Table 1 (None when disabled)."""
+    if config.l1_prefetcher == "none":
+        return None
+    if config.l1_prefetcher == "stride":
+        return StridePrefetcher(degree=config.l1_prefetcher_degree)
+    raise ValueError(f"unknown l1 prefetcher {config.l1_prefetcher!r}")
+
+
+def simulate(
+    trace: Trace,
+    prefetcher: PrefetcherSpec = None,
+    machine: Optional[MachineConfig] = None,
+    degree: int = 1,
+    epoch_accesses: int = 5_000,
+    charge_metadata_to_llc: bool = True,
+    warmup_accesses: int = 0,
+    name: Optional[str] = None,
+) -> SimulationResult:
+    """Simulate ``trace`` on a single core and return the result.
+
+    ``warmup_accesses`` mirrors the paper's methodology (each SimPoint is
+    warmed before measurement): the first N accesses train caches and
+    prefetchers but are excluded from every reported statistic.
+
+    ``charge_metadata_to_llc=False`` gives Triage a free metadata store
+    on the side (the "optimistic" configuration of Figure 7).
+    """
+    config = machine or MachineConfig.single_core()
+    if config.n_cores != 1:
+        raise ValueError("simulate() is single-core; use simulate_multicore()")
+    pf = make_prefetcher(prefetcher, degree=degree)
+    hierarchy = CacheHierarchy(
+        n_cores=1,
+        l1_size=config.l1_size,
+        l1_ways=config.l1_ways,
+        l2_size=config.l2_size,
+        l2_ways=config.l2_ways,
+        llc_size_per_core=config.llc_size_per_core,
+        llc_ways=config.llc_ways,
+        llc_policy=config.llc_policy,
+    )
+    dram = DramModel(
+        base_latency_cycles=config.dram_latency_cycles,
+        bandwidth_bytes_per_cycle=config.dram_bandwidth_bytes_per_cycle,
+    )
+    triages = triage_components(pf)
+    _MetadataPartition(hierarchy, config, triages, charge_metadata_to_llc)
+    l1pf = make_l1_prefetcher(config)
+
+    counters = hierarchy.counters[0]
+    total_cycles = 0.0
+    # Epoch snapshots.
+    prev = (0, 0, 0)  # (l2_hits, llc_hits, dram_accesses)
+    prev_bytes = 0
+    accesses_in_epoch = 0
+    # Warmup offsets, captured when measurement starts.
+    traffic_offset: dict = {}
+    metadata_llc_offset = 0
+    metadata_dram_offset = 0
+
+    def close_epoch() -> None:
+        nonlocal prev, prev_bytes, accesses_in_epoch, total_cycles
+        if accesses_in_epoch == 0:
+            return
+        load = EpochLoad(
+            instructions=accesses_in_epoch * trace.instr_per_access,
+            l2_hits=counters.l2_hits - prev[0],
+            llc_hits=counters.llc_hits - prev[1],
+            dram_accesses=counters.dram_accesses - prev[2],
+            mlp=trace.mlp,
+        )
+        epoch_bytes = hierarchy.traffic.total_bytes - prev_bytes
+        total_cycles += resolve_epoch([load], epoch_bytes, config, dram)[0]
+        prev = (counters.l2_hits, counters.llc_hits, counters.dram_accesses)
+        prev_bytes = hierarchy.traffic.total_bytes
+        accesses_in_epoch = 0
+
+    for access_idx, (pc, addr, is_write) in enumerate(trace):
+        if access_idx == warmup_accesses and warmup_accesses > 0:
+            # Warmup ends: drop the statistics gathered so far (state in
+            # the caches, prefetchers and partition controller persists).
+            hierarchy.counters[0] = CoreCounters()
+            counters = hierarchy.counters[0]
+            traffic_offset = hierarchy.traffic.snapshot()
+            metadata_llc_offset = sum(t.store.llc_accesses for t in triages)
+            if pf is not None:
+                metadata_dram_offset = pf.metadata_dram_accesses
+                if isinstance(pf, HybridPrefetcher):
+                    metadata_dram_offset = pf.total_metadata_dram_accesses
+            total_cycles = 0.0
+            prev = (0, 0, 0)
+            prev_bytes = hierarchy.traffic.total_bytes
+            accesses_in_epoch = 0
+        event = hierarchy.access(0, pc, addr, is_write)
+        accesses_in_epoch += 1
+        if l1pf is not None:
+            # The stride prefetcher trains on the L1D access stream.
+            for candidate in l1pf.observe(pc, event.line):
+                hierarchy.prefetch(0, candidate.line, pc, kind="l1")
+        if pf is not None and event.trains_l2_prefetcher:
+            candidates = pf.observe(
+                event.pc, event.line, prefetch_hit=event.l2_prefetch_hit
+            )
+            for candidate in candidates:
+                source = hierarchy.prefetch(0, candidate.line, event.pc)
+                owner = candidate.owner or pf
+                owner.feedback(candidate, source)
+            metadata_bytes = pf.drain_metadata_traffic()
+            if metadata_bytes:
+                hierarchy.traffic.add("metadata", metadata_bytes)
+        if accesses_in_epoch >= epoch_accesses:
+            close_epoch()
+    close_epoch()
+
+    metadata_llc = sum(t.store.llc_accesses for t in triages) - metadata_llc_offset
+    metadata_dram = pf.metadata_dram_accesses if pf is not None else 0
+    if isinstance(pf, HybridPrefetcher):
+        metadata_dram = pf.total_metadata_dram_accesses
+    metadata_dram -= metadata_dram_offset
+    partition_history = []
+    final_capacity = None
+    for triage in triages:
+        if triage.controller is not None:
+            partition_history = [
+                d.capacity_bytes for d in triage.controller.decisions
+            ]
+        if not triage.store.unbounded:
+            final_capacity = triage.metadata_capacity_bytes
+
+    measured_accesses = len(trace) - min(warmup_accesses, len(trace))
+    traffic = {
+        category: total - traffic_offset.get(category, 0)
+        for category, total in hierarchy.traffic.snapshot().items()
+    }
+    return SimulationResult(
+        workload=name or trace.name,
+        prefetcher=pf.name if pf is not None else "none",
+        instructions=measured_accesses * trace.instr_per_access,
+        cycles=total_cycles,
+        counters=replace(counters),
+        traffic=traffic,
+        metadata_llc_accesses=metadata_llc,
+        metadata_dram_accesses=metadata_dram,
+        final_metadata_capacity=final_capacity,
+        partition_history=partition_history,
+    )

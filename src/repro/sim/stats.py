@@ -1,0 +1,123 @@
+"""Result containers and the derived metrics the paper reports.
+
+Coverage and accuracy follow the standard definitions the paper uses:
+
+* **coverage** -- the fraction of would-be L2 demand misses eliminated by
+  prefetching: ``useful / (useful + remaining_l2_demand_misses)``, where
+  a *useful* prefetch is the first demand touch of a prefetched L2 line;
+* **accuracy** -- ``useful / issued`` over non-redundant prefetches;
+* **traffic overhead** -- extra off-chip bytes relative to a
+  no-prefetching baseline run of the same trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.memory.hierarchy import CoreCounters
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one single-core simulation (or one core of a mix)."""
+
+    workload: str
+    prefetcher: str
+    instructions: float
+    cycles: float
+    counters: CoreCounters
+    traffic: Dict[str, int]
+    metadata_llc_accesses: int = 0
+    metadata_dram_accesses: int = 0
+    final_metadata_capacity: Optional[int] = None
+    partition_history: List[int] = field(default_factory=list)
+
+    # -- headline metrics ------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Performance relative to ``baseline`` (same workload)."""
+        if self.cycles <= 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    @property
+    def useful_prefetches(self) -> int:
+        return self.counters.l2_prefetch_hits
+
+    @property
+    def coverage(self) -> float:
+        useful = self.useful_prefetches
+        total = useful + self.counters.l2_demand_misses
+        return useful / total if total else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        issued = self.counters.prefetches_issued
+        return self.useful_prefetches / issued if issued else 0.0
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return sum(self.traffic.values())
+
+    def traffic_overhead_vs(self, baseline: "SimulationResult") -> float:
+        """Extra off-chip traffic as a fraction of the baseline's."""
+        base = baseline.total_traffic_bytes
+        if base <= 0:
+            return 0.0
+        return (self.total_traffic_bytes - base) / base
+
+    def miss_reduction_over(self, baseline: "SimulationResult") -> float:
+        """Fractional reduction in off-chip demand accesses."""
+        base = baseline.counters.dram_accesses
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.counters.dram_accesses / base
+
+
+@dataclass
+class MultiCoreResult:
+    """Outcome of one multi-programmed simulation."""
+
+    workloads: List[str]
+    prefetcher: str
+    per_core: List[SimulationResult]
+    traffic: Dict[str, int]
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.per_core)
+
+    def speedup_over(self, baseline: "MultiCoreResult") -> float:
+        """Geometric-mean per-core speedup versus a baseline mix run."""
+        if len(baseline.per_core) != len(self.per_core):
+            raise ValueError("baseline must have the same core count")
+        ratios = [
+            mine.speedup_over(theirs)
+            for mine, theirs in zip(self.per_core, baseline.per_core)
+        ]
+        return geomean(ratios)
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return sum(self.traffic.values())
+
+    def traffic_overhead_vs(self, baseline: "MultiCoreResult") -> float:
+        base = baseline.total_traffic_bytes
+        if base <= 0:
+            return 0.0
+        return (self.total_traffic_bytes - base) / base
+
+
+def geomean(values: List[float]) -> float:
+    """Geometric mean (the paper's aggregate for speedups)."""
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

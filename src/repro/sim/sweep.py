@@ -1,0 +1,119 @@
+"""Parameter-sweep utility: run a grid of configurations in one call.
+
+``sweep`` is the library's bulk-evaluation front door: give it a set of
+workloads and a set of prefetcher configurations (plus optional machine
+overrides) and it returns a tidy list of records ready for a table or a
+CSV.  Used by several experiment harnesses and handy interactively::
+
+    from repro.sim.sweep import sweep
+    records = sweep(
+        benchmarks=["mcf", "omnetpp"],
+        prefetchers={"bo": "bo", "triage": TriageConfig(...)},
+        n_accesses=60_000,
+        scale=4,
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.config import MachineConfig
+from repro.sim.factory import PrefetcherSpec, make_prefetcher
+from repro.sim.single_core import simulate
+from repro.sim.stats import SimulationResult
+from repro.workloads import spec
+
+
+@dataclass
+class SweepRecord:
+    """One (workload, configuration) cell of a sweep."""
+
+    workload: str
+    config: str
+    result: SimulationResult
+    baseline: SimulationResult
+
+    @property
+    def speedup(self) -> float:
+        return self.result.speedup_over(self.baseline)
+
+    @property
+    def coverage(self) -> float:
+        return self.result.coverage
+
+    @property
+    def accuracy(self) -> float:
+        return self.result.accuracy
+
+    @property
+    def traffic_overhead(self) -> float:
+        return self.result.traffic_overhead_vs(self.baseline)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "speedup": self.speedup,
+            "coverage": self.coverage,
+            "accuracy": self.accuracy,
+            "traffic_overhead": self.traffic_overhead,
+            "ipc": self.result.ipc,
+        }
+
+
+def sweep(
+    benchmarks: Sequence[str],
+    prefetchers: Dict[str, PrefetcherSpec],
+    n_accesses: int = 60_000,
+    seed: int = 1,
+    scale: int = 4,
+    machine: Optional[MachineConfig] = None,
+    warmup_fraction: float = 1 / 3,
+    degree: int = 1,
+) -> List[SweepRecord]:
+    """Run every (benchmark x prefetcher) combination.
+
+    Each configuration gets a *fresh* prefetcher instance (specs that are
+    already-built instances are reused across benchmarks and therefore
+    carry state -- pass names/configs/factories to avoid that).
+    """
+    machine = machine or MachineConfig.scaled(scale)
+    warmup = int(n_accesses * warmup_fraction)
+    records: List[SweepRecord] = []
+    for bench in benchmarks:
+        trace = spec.make_trace(bench, n_accesses=n_accesses, seed=seed, scale=scale)
+        baseline = simulate(trace, None, machine=machine, warmup_accesses=warmup)
+        for config_name, prefetcher_spec in prefetchers.items():
+            result = simulate(
+                trace,
+                make_prefetcher(prefetcher_spec, degree=degree),
+                machine=machine,
+                warmup_accesses=warmup,
+                degree=degree,
+            )
+            records.append(
+                SweepRecord(
+                    workload=bench,
+                    config=config_name,
+                    result=result,
+                    baseline=baseline,
+                )
+            )
+    return records
+
+
+def records_to_csv(records: Sequence[SweepRecord]) -> str:
+    """Render sweep records as CSV."""
+    import csv
+    import io
+
+    if not records:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0].as_dict()))
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record.as_dict())
+    return buffer.getvalue()

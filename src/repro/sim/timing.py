@@ -1,0 +1,85 @@
+"""Analytic epoch timing model.
+
+Per epoch (a fixed number of demand accesses) and per core::
+
+    cycles = instructions * base_cpi
+           + (l2_hits * l2_lat + llc_hits * llc_lat + dram * dram_eff) / MLP
+
+``dram_eff`` is the bandwidth-inflated DRAM latency from
+:class:`repro.memory.dram.DramModel`; it depends on the epoch's
+utilization, which itself depends on the epoch's cycle count, so the two
+are solved by fixed-point iteration (three rounds is plenty -- the map is
+a contraction for utilizations below the inflation cap).
+
+This is the documented substitution for the paper's cycle-accurate
+simulators: coverage shortens the dram term, prefetch/metadata traffic
+widens utilization, and MLP separates pointer-chasing workloads (serial
+misses, MLP near 1) from streaming ones.  See DESIGN.md Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.memory.dram import DramModel
+from repro.sim.config import MachineConfig
+
+
+@dataclass
+class EpochLoad:
+    """One core's demand activity during an epoch."""
+
+    instructions: float
+    l2_hits: int
+    llc_hits: int
+    dram_accesses: int
+    mlp: float
+
+
+def core_cycles(
+    load: EpochLoad, config: MachineConfig, dram_latency: float
+) -> float:
+    """Cycles one core needs for an epoch at a given DRAM latency."""
+    llc_latency = config.llc_latency + config.extra_llc_latency
+    stall = (
+        load.l2_hits * config.l2_latency
+        + load.llc_hits * llc_latency
+        + load.dram_accesses * dram_latency
+    )
+    return load.instructions * config.base_cpi + stall / load.mlp
+
+
+def resolve_epoch(
+    loads: Sequence[EpochLoad],
+    epoch_bytes: float,
+    config: MachineConfig,
+    dram: DramModel,
+    iterations: int = 3,
+) -> List[float]:
+    """Fixed-point solve for per-core epoch cycles under shared bandwidth.
+
+    ``loads`` has one entry per core; ``epoch_bytes`` is the total
+    off-chip traffic (demand + prefetch + writeback + metadata) all cores
+    generated this epoch.  Returns per-core cycle counts.
+    """
+    if not loads:
+        return []
+    dram_latency = dram.base_latency_cycles
+    cycles = [core_cycles(load, config, dram_latency) for load in loads]
+    for _ in range(iterations):
+        # Cores run concurrently: the epoch's wall-clock span is set by
+        # the average per-core progress (cores interleave accesses in
+        # lockstep), so utilization is computed against that span.
+        wall = max(sum(cycles) / len(cycles), 1.0)
+        utilization = dram.utilization(epoch_bytes, wall)
+        dram_latency = dram.effective_latency(utilization)
+        cycles = [core_cycles(load, config, dram_latency) for load in loads]
+    # Hard bandwidth wall: the epoch cannot finish faster than the bus
+    # can move its bytes, no matter how well prefetching hides latency.
+    wall = max(sum(cycles) / len(cycles), 1.0)
+    floor = dram.min_cycles_for_bytes(epoch_bytes)
+    if floor > wall:
+        stretch = floor / wall
+        cycles = [c * stretch for c in cycles]
+    return cycles

@@ -1,0 +1,14 @@
+"""Synthetic workload generators shaped after the paper's benchmarks."""
+
+from repro.workloads.base import Trace, interleave
+from repro.workloads import irregular, regular, spec, cloudsuite, mixes
+
+__all__ = [
+    "Trace",
+    "cloudsuite",
+    "interleave",
+    "irregular",
+    "mixes",
+    "regular",
+    "spec",
+]

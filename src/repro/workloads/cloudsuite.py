@@ -1,0 +1,149 @@
+"""CloudSuite-like server workloads (paper Figure 14).
+
+The paper's CRC-2 CloudSuite traces split into two behaviours:
+
+* **cassandra / classification / cloud9** -- highly irregular: large
+  pointer-linked heaps revisited by repeated transactions.  Temporal
+  prefetching wins here.
+* **nutch / streaming** -- dominated by compulsory misses over fresh
+  data with recurring spatial structure.  Temporal prefetchers "cannot
+  prefetch compulsory misses", so SMS/BO win and Triage is neutral.
+
+We synthesize each with the matching primitive and tag them
+``category="server"``.  Like :mod:`repro.workloads.spec`, ``scale``
+divides working-set sizes to match a scaled-down machine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.workloads.base import Trace, interleave
+from repro.workloads.irregular import chain_trace, graph_walk_trace
+from repro.workloads.regular import scan_footprint_trace, stream_trace
+
+#: Figure 14's benchmark list (the paper spells it "casandra").
+CLOUDSUITE: List[str] = [
+    "cassandra",
+    "classification",
+    "cloud9",
+    "nutch",
+    "streaming",
+]
+
+IRREGULAR_CLOUDSUITE: List[str] = ["cassandra", "classification", "cloud9"]
+REGULAR_CLOUDSUITE: List[str] = ["nutch", "streaming"]
+
+
+def _server_irregular(
+    name: str,
+    n: int,
+    seed: int,
+    arena: int,
+    scale: float,
+    hot_lines: int,
+    cold_lines: int,
+) -> Trace:
+    """Transactions over pointer-linked server heaps: mostly repeated
+    chain walks plus a slice of compulsory scanning (fresh requests)."""
+    n_chain = int(n * 0.85)
+    chains = chain_trace(
+        name + ":txn",
+        n_chain,
+        seed,
+        hot_lines=max(256, int(hot_lines / scale)),
+        cold_lines=max(256, int(cold_lines / scale)),
+        hot_fraction=0.72,
+        mlp=1.4,
+        arena=arena,
+        category="server",
+    )
+    fresh = scan_footprint_trace(
+        name + ":fresh", n - n_chain, seed + 1, arena=arena + 32
+    )
+    trace = interleave([chains, fresh], name=name)
+    trace.category = "server"
+    trace.mlp = 1.5
+    return trace
+
+
+def _cloud9(n: int, seed: int, arena: int, scale: float) -> Trace:
+    return graph_walk_trace(
+        "cloud9",
+        n,
+        seed,
+        n_nodes=max(256, int(44_000 / scale)),
+        primary_prob=0.78,
+        walk_len=200,
+        mlp=1.5,
+        arena=arena,
+        category="server",
+    )
+
+
+def _nutch(n: int, seed: int, arena: int, scale: float) -> Trace:
+    scan = scan_footprint_trace(
+        "nutch:scan", int(n * 0.7), seed, n_signatures=8, arena=arena
+    )
+    streams = stream_trace(
+        "nutch:stream",
+        n - len(scan),
+        seed + 1,
+        n_streams=2,
+        arena=arena + 32,
+        category="server",
+    )
+    trace = interleave([scan, streams], name="nutch")
+    trace.category = "server"
+    trace.mlp = 4.0
+    return trace
+
+
+def _streaming(n: int, seed: int, arena: int, scale: float) -> Trace:
+    streams = stream_trace(
+        "streaming:stream",
+        int(n * 0.6),
+        seed,
+        n_streams=4,
+        arena=arena,
+        category="server",
+    )
+    scan = scan_footprint_trace(
+        "streaming:scan", n - int(n * 0.6), seed + 1, arena=arena + 32
+    )
+    trace = interleave([streams, scan], name="streaming")
+    trace.category = "server"
+    trace.mlp = 5.0
+    return trace
+
+
+_BUILDERS: Dict[str, Callable[[int, int, int, float], Trace]] = {
+    "cassandra": lambda n, s, a, sc: _server_irregular(
+        "cassandra", n, s, a, sc, hot_lines=44_000, cold_lines=160_000
+    ),
+    "classification": lambda n, s, a, sc: _server_irregular(
+        "classification", n, s, a, sc, hot_lines=36_000, cold_lines=130_000
+    ),
+    "cloud9": _cloud9,
+    "nutch": _nutch,
+    "streaming": _streaming,
+}
+
+_ARENAS: Dict[str, int] = {name: 400 + i * 3 for i, name in enumerate(_BUILDERS)}
+
+
+def make_trace(
+    name: str,
+    n_accesses: int = 100_000,
+    seed: int = 1,
+    arena: Optional[int] = None,
+    scale: float = 1.0,
+) -> Trace:
+    """Build the named CloudSuite-like trace."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(f"unknown CloudSuite benchmark {name!r}") from None
+    if arena is None:
+        arena = _ARENAS[name]
+    return builder(n_accesses, seed, arena, scale)

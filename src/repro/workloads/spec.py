@@ -1,0 +1,281 @@
+"""SPEC CPU2006-like named workloads.
+
+Each benchmark name from the paper maps to a seeded synthetic generator
+whose access character matches the published behaviour of that benchmark
+(pointer chasing for mcf, event-queue walks for omnetpp, sparse algebra
+for soplex, streams for libquantum, ...).  The irregular subset is the
+paper's Figure 5 suite; the regular subset is Figure 8's.
+
+Use :func:`make_trace` to build any benchmark by name::
+
+    trace = make_trace("mcf", n_accesses=150_000, seed=1)
+
+**Scaling.**  Default sizes target the paper's 2 MB-LLC machine.  Because
+a pure-Python simulator cannot afford SimPoint-length traces, experiments
+run on a machine scaled down by ``SCALE_DEFAULT`` (all cache sizes / 4)
+and pass the same factor here: ``make_trace(..., scale=4)`` divides every
+working-set knob by 4, preserving the working-set : LLC and
+metadata-demand : store-size ratios that the paper's results depend on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.workloads.base import Trace, interleave
+from repro.workloads.irregular import (
+    chain_trace,
+    graph_walk_trace,
+    shuffled_reuse_trace,
+)
+from repro.workloads.regular import stream_trace, strided_trace
+
+#: The scale factor experiments use (machine sizes and workload sizes
+#: are both divided by this, keeping every capacity ratio intact).
+SCALE_DEFAULT = 4
+
+#: The paper's irregular SPEC2006 subset (Figure 5 x-axis).
+IRREGULAR_SPEC: List[str] = [
+    "gcc_166",
+    "mcf",
+    "soplex_k",
+    "omnetpp",
+    "astar_lakes",
+    "sphinx3",
+    "xalancbmk",
+]
+
+#: The remaining memory-intensive SPEC2006 benchmarks (Figure 8 x-axis).
+REGULAR_SPEC: List[str] = [
+    "perlbench",
+    "bzip2",
+    "gcc",
+    "bwaves",
+    "gamess",
+    "milc",
+    "zeusmp",
+    "gromacs",
+    "cactusADM",
+    "leslie3d",
+    "namd",
+    "gobmk",
+    "dealII",
+    "soplex_ref",
+    "povray",
+    "calculix",
+    "hmmer",
+    "sjeng",
+    "GemsFDTD",
+    "libquantum",
+    "h264ref",
+    "tonto",
+    "lbm",
+    "astar_rivers",
+    "wrf",
+]
+
+#: Memory-bound benchmarks used to build multi-programmed mixes.
+MEMORY_BOUND: List[str] = IRREGULAR_SPEC + [
+    "bzip2",
+    "bwaves",
+    "milc",
+    "zeusmp",
+    "cactusADM",
+    "leslie3d",
+    "GemsFDTD",
+    "libquantum",
+    "lbm",
+    "wrf",
+]
+
+#: Size-like kwargs that shrink with the scale factor.
+_SCALABLE_KEYS = (
+    "hot_lines",
+    "warm_lines",
+    "cold_lines",
+    "n_nodes",
+    "n_lines",
+    "lines_per_stream",
+)
+#: Floors so tiny scales still produce meaningful structures.
+_SCALE_FLOOR = 256
+
+
+def _scaled(kwargs: Dict[str, object], scale: float) -> Dict[str, object]:
+    out = dict(kwargs)
+    for key in _SCALABLE_KEYS:
+        if key in out:
+            out[key] = max(_SCALE_FLOOR, int(out[key] / scale))
+    return out
+
+
+def _mixed(
+    name: str,
+    n: int,
+    seed: int,
+    arena: int,
+    scale: float,
+    irregular_share: float,
+    chain_kwargs: Dict[str, object],
+    strides=(1, 4, 2),
+) -> Trace:
+    """Part pointer-chain, part strided -- soplex/sphinx3 style."""
+    n_irr = int(n * irregular_share)
+    irr = chain_trace(
+        name + ":irr", n_irr, seed, arena=arena, **_scaled(chain_kwargs, scale)
+    )
+    reg = strided_trace(
+        name + ":reg", n - n_irr, seed + 1, strides=strides, arena=arena + 32
+    )
+    mlp = chain_kwargs.get("mlp", 1.5)
+    trace = interleave([irr, reg], name=name)
+    trace.category = "irregular"
+    trace.mlp = float(mlp) + 0.6  # strided half raises achievable MLP
+    return trace
+
+
+# Builders take (n_accesses, seed, arena, scale).
+TraceBuilder = Callable[[int, int, int, float], Trace]
+
+
+def _chain(name: str, category: str = "irregular", **kwargs) -> TraceBuilder:
+    def build(n: int, s: int, a: int, scale: float) -> Trace:
+        return chain_trace(
+            name, n, s, arena=a, category=category, **_scaled(kwargs, scale)
+        )
+
+    return build
+
+
+def _graph(name: str, category: str = "irregular", **kwargs) -> TraceBuilder:
+    def build(n: int, s: int, a: int, scale: float) -> Trace:
+        return graph_walk_trace(
+            name, n, s, arena=a, category=category, **_scaled(kwargs, scale)
+        )
+
+    return build
+
+
+def _shuffled(name: str, **kwargs) -> TraceBuilder:
+    def build(n: int, s: int, a: int, scale: float) -> Trace:
+        return shuffled_reuse_trace(name, n, s, arena=a, **_scaled(kwargs, scale))
+
+    return build
+
+
+def _stream(name: str, **kwargs) -> TraceBuilder:
+    def build(n: int, s: int, a: int, scale: float) -> Trace:
+        return stream_trace(name, n, s, arena=a, **_scaled(kwargs, scale))
+
+    return build
+
+
+def _strided(name: str, **kwargs) -> TraceBuilder:
+    def build(n: int, s: int, a: int, scale: float) -> Trace:
+        return strided_trace(name, n, s, arena=a, **_scaled(kwargs, scale))
+
+    return build
+
+
+_REGISTRY: Dict[str, TraceBuilder] = {
+    # -- irregular subset: repeatedly traversed pointer structures whose
+    # hot sets exceed the LLC, so temporal prefetching has misses to
+    # cover.  Warm tiers push metadata demand past Triage's store on
+    # some benchmarks, which is what lets off-chip MISB pull ahead of
+    # Triage on single-core runs (Figure 11).
+    "gcc_166": _chain(
+        "gcc_166", hot_lines=40_000, warm_lines=240_000, cold_lines=120_000,
+        noise=0.02, hot_fraction=0.25, warm_fraction=0.63, mlp=1.6,
+    ),
+    "mcf": _chain(
+        "mcf", hot_lines=40_000, warm_lines=240_000, cold_lines=80_000,
+        hot_fraction=0.28, warm_fraction=0.62, mlp=1.2,
+    ),
+    "soplex_k": lambda n, s, a, sc: _mixed(
+        "soplex_k", n, s, a, sc, irregular_share=0.65,
+        chain_kwargs=dict(hot_lines=32_000, warm_lines=40_000,
+                          cold_lines=100_000, hot_fraction=0.6,
+                          warm_fraction=0.15, mlp=1.6),
+    ),
+    "omnetpp": _graph(
+        "omnetpp", n_nodes=96_000, primary_prob=0.82, walk_len=300, mlp=1.3,
+    ),
+    "astar_lakes": _graph(
+        "astar_lakes", n_nodes=110_000, primary_prob=0.72, walk_len=250, mlp=1.4,
+    ),
+    "sphinx3": lambda n, s, a, sc: _mixed(
+        "sphinx3", n, s, a, sc, irregular_share=0.55,
+        chain_kwargs=dict(hot_lines=26_000, warm_lines=50_000,
+                          cold_lines=80_000, hot_fraction=0.58,
+                          warm_fraction=0.18, mlp=1.5),
+        strides=(1, 2, 1),
+    ),
+    "xalancbmk": _chain(
+        "xalancbmk", hot_lines=48_000, warm_lines=260_000, cold_lines=60_000,
+        hot_fraction=0.28, warm_fraction=0.62, hot_chains=12, cold_chains=48,
+        mlp=1.3,
+    ),
+    # -- regular / remaining memory-intensive subset -------------------------
+    "perlbench": _shuffled("perlbench", n_lines=24_000, mlp=2.5),
+    "bzip2": _shuffled("bzip2", n_lines=48_000, mlp=2.2),
+    "gcc": _chain(
+        "gcc", category="regular", hot_lines=12_000, cold_lines=32_000,
+        noise=0.02, hot_fraction=0.8, mlp=2.0,
+    ),
+    "bwaves": _strided("bwaves", strides=(1, 2, 1, 3), mlp=6.0),
+    "gamess": _shuffled("gamess", n_lines=12_000, mlp=3.0),
+    "milc": _stream("milc", n_streams=3, mlp=5.0),
+    "zeusmp": _strided("zeusmp", strides=(2, 2, 4), mlp=5.0),
+    "gromacs": _shuffled("gromacs", n_lines=20_000, mlp=3.0),
+    "cactusADM": _strided("cactusADM", strides=(1, 8, 1), mlp=4.5),
+    "leslie3d": _strided("leslie3d", strides=(1, 2, 3, 1), mlp=5.5),
+    "namd": _shuffled("namd", n_lines=16_000, mlp=3.5),
+    "gobmk": _shuffled("gobmk", n_lines=12_000, mlp=2.5),
+    "dealII": _shuffled("dealII", n_lines=56_000, mlp=2.5),
+    "soplex_ref": _strided("soplex_ref", strides=(1, 3, 1), mlp=4.0),
+    "povray": _shuffled("povray", n_lines=10_000, mlp=3.0),
+    "calculix": _shuffled("calculix", n_lines=20_000, mlp=3.0),
+    "hmmer": _stream("hmmer", n_streams=2, lines_per_stream=16_384, mlp=4.0),
+    "sjeng": _shuffled("sjeng", n_lines=48_000, mlp=2.5),
+    "GemsFDTD": _strided("GemsFDTD", strides=(1, 1, 2, 4), mlp=6.0),
+    "libquantum": _stream("libquantum", n_streams=1, mlp=8.0),
+    "h264ref": _shuffled("h264ref", n_lines=24_000, mlp=3.0),
+    "tonto": _shuffled("tonto", n_lines=16_000, mlp=3.0),
+    "lbm": _stream("lbm", n_streams=2, mlp=7.0),
+    "astar_rivers": _graph(
+        "astar_rivers", category="regular", n_nodes=40_000, primary_prob=0.85,
+        walk_len=200, mlp=2.0,
+    ),
+    "wrf": _strided("wrf", strides=(1, 2, 1, 1), mlp=5.0),
+}
+
+#: Stable arena id per benchmark (disjoint address spaces in mixes).
+_ARENAS: Dict[str, int] = {name: 100 + i * 3 for i, name in enumerate(_REGISTRY)}
+
+
+def benchmark_names() -> List[str]:
+    """All registered SPEC-like benchmark names."""
+    return list(_REGISTRY)
+
+
+def make_trace(
+    name: str,
+    n_accesses: int = 100_000,
+    seed: int = 1,
+    arena: Optional[int] = None,
+    scale: float = 1.0,
+) -> Trace:
+    """Build the named SPEC-like benchmark trace.
+
+    ``arena`` overrides the benchmark's default address arena (multi-core
+    mixes use this to keep address spaces disjoint); ``scale`` divides
+    every working-set size, matching a machine scaled down by the same
+    factor.
+    """
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown benchmark {name!r}; see benchmark_names()") from None
+    if arena is None:
+        arena = _ARENAS[name]
+    return builder(n_accesses, seed, arena, scale)

@@ -1,0 +1,83 @@
+"""Trace file I/O: bring your own traces, keep ours.
+
+A compact binary format for :class:`~repro.workloads.base.Trace`
+objects, so traces can be generated once and reused (or produced by an
+external tool, e.g. a Pin/DynamoRIO client, and simulated here).
+
+Format (little-endian):
+
+    magic   4 bytes   b"RPT1"
+    header  JSON (length-prefixed, u32): name, category, mlp,
+            instr_per_access, metadata, n
+    body    n records of (pc: u64, addr: u64, flags: u8)
+            flags bit 0 = is_write
+
+The body is written via ``numpy`` structured arrays, so a 1 M-access
+trace saves/loads in milliseconds and costs 17 bytes per record.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.workloads.base import Trace
+
+MAGIC = b"RPT1"
+
+_RECORD_DTYPE = np.dtype(
+    [("pc", "<u8"), ("addr", "<u8"), ("flags", "u1")]
+)
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Serialize ``trace`` to ``path``."""
+    path = Path(path)
+    header = {
+        "name": trace.name,
+        "category": trace.category,
+        "mlp": trace.mlp,
+        "instr_per_access": trace.instr_per_access,
+        "metadata": trace.metadata,
+        "n": len(trace),
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    records = np.zeros(len(trace), dtype=_RECORD_DTYPE)
+    records["pc"] = trace.pcs
+    records["addr"] = trace.addrs
+    records["flags"] = np.asarray(trace.writes, dtype=np.uint8)
+    with open(path, "wb") as f:
+        f.write(MAGIC)
+        f.write(struct.pack("<I", len(header_bytes)))
+        f.write(header_bytes)
+        records.tofile(f)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Deserialize a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with open(path, "rb") as f:
+        magic = f.read(4)
+        if magic != MAGIC:
+            raise ValueError(f"{path}: not a repro trace file (magic {magic!r})")
+        (header_len,) = struct.unpack("<I", f.read(4))
+        header = json.loads(f.read(header_len).decode("utf-8"))
+        records = np.fromfile(f, dtype=_RECORD_DTYPE)
+    if len(records) != header["n"]:
+        raise ValueError(
+            f"{path}: truncated body ({len(records)} of {header['n']} records)"
+        )
+    return Trace(
+        name=header["name"],
+        pcs=[int(x) for x in records["pc"]],
+        addrs=[int(x) for x in records["addr"]],
+        writes=[bool(x & 1) for x in records["flags"]],
+        category=header["category"],
+        mlp=header["mlp"],
+        instr_per_access=header["instr_per_access"],
+        metadata=header.get("metadata", {}),
+    )

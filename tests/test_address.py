@@ -1,0 +1,55 @@
+"""Unit tests for address arithmetic."""
+
+from repro.memory.address import (
+    LINE_SIZE,
+    line_addr,
+    line_base,
+    region_id,
+    region_offset,
+    set_index,
+    tag_bits,
+)
+
+
+def test_line_addr_strips_offset():
+    assert line_addr(0) == 0
+    assert line_addr(63) == 0
+    assert line_addr(64) == 1
+    assert line_addr(0x12345) == 0x12345 >> 6
+
+
+def test_line_base_is_aligned():
+    for addr in (0, 1, 63, 64, 1000, 0xDEADBEEF):
+        base = line_base(addr)
+        assert base % LINE_SIZE == 0
+        assert base <= addr < base + LINE_SIZE
+
+
+def test_set_index_wraps_power_of_two():
+    assert set_index(0, 16) == 0
+    assert set_index(15, 16) == 15
+    assert set_index(16, 16) == 0
+    assert set_index(0x12345, 2048) == 0x12345 % 2048
+
+
+def test_tag_bits_drop_set_index():
+    line = 0b1011_0110_1010
+    assert tag_bits(line, 16) == line >> 4
+    assert tag_bits(line, 1) == line
+
+
+def test_tag_and_set_reconstruct_line():
+    num_sets = 256
+    for line in (0, 1, 255, 256, 123456789):
+        reconstructed = (tag_bits(line, num_sets) << 8) | set_index(line, num_sets)
+        assert reconstructed == line
+
+
+def test_region_helpers():
+    region_size = 2048
+    assert region_id(0, region_size) == 0
+    assert region_id(2047, region_size) == 0
+    assert region_id(2048, region_size) == 1
+    assert region_offset(0, region_size) == 0
+    assert region_offset(64, region_size) == 1
+    assert region_offset(2047, region_size) == 31

@@ -1,0 +1,78 @@
+"""Tests for the analysis toolkit."""
+
+import pytest
+
+from repro.analysis import (
+    metadata_footprint,
+    pair_stability_profile,
+    reuse_distance_histogram,
+    working_set_lines,
+)
+from repro.workloads.base import Trace
+from repro.workloads.irregular import chain_trace, shuffled_reuse_trace
+
+
+def make_trace(lines, pc=0x400):
+    return Trace("t", [pc] * len(lines), [l * 64 for l in lines],
+                 [False] * len(lines))
+
+
+def test_working_set_lines():
+    assert working_set_lines(make_trace([1, 2, 3, 1, 2])) == 3
+
+
+def test_reuse_distance_cold_and_buckets():
+    # 1,2,3,1: 1's reuse has 2 distinct lines in between.
+    hist = reuse_distance_histogram(make_trace([1, 2, 3, 1]),
+                                    bucket_edges=(1, 4))
+    assert hist["cold"] == 3
+    assert hist.get("<=4", 0) == 1
+
+
+def test_reuse_distance_immediate_reuse():
+    hist = reuse_distance_histogram(make_trace([5, 5, 5]), bucket_edges=(1,))
+    assert hist["cold"] == 1
+    assert hist["<=1"] == 2
+
+
+def test_reuse_distance_exceeds_buckets():
+    lines = list(range(10)) + [0]
+    hist = reuse_distance_histogram(make_trace(lines), bucket_edges=(2, 4))
+    assert hist[">4"] == 1
+
+
+def test_reuse_distance_total_conserved():
+    trace = chain_trace("c", 3_000, seed=1, hot_lines=300, cold_lines=300)
+    hist = reuse_distance_histogram(trace)
+    assert sum(hist.values()) == len(trace)
+
+
+def test_metadata_footprint_counts_pairs():
+    stats = metadata_footprint(make_trace([1, 2, 3]))
+    # Pairs trained: (1->2), (2->3): triggers {1, 2}.
+    assert stats["entries"] == 2
+    assert stats["bytes"] == 8
+
+
+def test_metadata_footprint_skew_on_chain_workload():
+    trace = chain_trace(
+        "c", 30_000, seed=1, hot_lines=500, cold_lines=8_000,
+        hot_fraction=0.8,
+    )
+    stats = metadata_footprint(trace)
+    assert stats["entries"] > 10  # smoke
+    assert 0.0 < stats["share_reused_gt5"] < 0.5  # skew: small hot head
+
+
+def test_pair_stability_extremes():
+    chain = chain_trace(
+        "c", 10_000, seed=1, hot_lines=500, cold_lines=0, cold_chains=0,
+        hot_fraction=1.0, noise=0.0, concurrency=1,
+    )
+    shuffled = shuffled_reuse_trace("s", 10_000, seed=1, n_lines=800)
+    assert pair_stability_profile(chain) > 0.9
+    assert pair_stability_profile(shuffled) < 0.1
+
+
+def test_pair_stability_empty_default():
+    assert pair_stability_profile(make_trace([1])) == 1.0

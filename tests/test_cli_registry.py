@@ -1,0 +1,43 @@
+"""Tests for the CLI and the experiment registry."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.registry import EXPERIMENTS, get
+
+
+def test_registry_covers_every_figure():
+    for fig in range(5, 21):
+        assert f"fig{fig:02d}" in EXPERIMENTS
+    assert "fig01" in EXPERIMENTS
+    assert "sens-latency" in EXPERIMENTS
+    assert "sens-epoch" in EXPERIMENTS
+    assert "ablations" in EXPERIMENTS
+
+
+def test_registry_modules_expose_run():
+    for module in EXPERIMENTS.values():
+        assert callable(module.run)
+        assert callable(module.main)
+
+
+def test_registry_get_unknown():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        get("fig99")
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig05" in out
+    assert "Figure 5" in out
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_run_unknown_experiment():
+    with pytest.raises(ValueError):
+        main(["run", "fig99"])

@@ -1,0 +1,49 @@
+"""Unit tests for Triage's compressed-tag table."""
+
+import pytest
+
+from repro.core.compressed_tags import CompressedTagTable
+
+
+def test_round_trip():
+    table = CompressedTagTable(bits=4)
+    compact = table.compress(0xABCDE)
+    assert table.expand(compact) == 0xABCDE
+
+
+def test_same_tag_same_id():
+    table = CompressedTagTable(bits=4)
+    assert table.compress(7) == table.compress(7)
+    assert len(table) == 1
+
+
+def test_capacity_and_recycling():
+    table = CompressedTagTable(bits=2)  # 4 ids
+    ids = [table.compress(tag) for tag in range(4)]
+    assert len(set(ids)) == 4
+    assert table.recycled == 0
+    table.compress(99)  # recycles the LRU id (tag 0)
+    assert table.recycled == 1
+    assert table.expand(ids[0]) == 99  # stale references now decompress wrong
+    assert len(table) == 4
+
+
+def test_recent_use_protects_id():
+    table = CompressedTagTable(bits=2)
+    for tag in range(4):
+        table.compress(tag)
+    table.compress(0)  # refresh tag 0
+    table.compress(99)  # should recycle tag 1's id, not tag 0's
+    assert table.expand(table.compress(0)) == 0
+    compact_99 = table.compress(99)
+    assert table.expand(compact_99) == 99
+
+
+def test_expand_unknown_id():
+    table = CompressedTagTable(bits=4)
+    assert table.expand(3) is None
+
+
+def test_rejects_bad_bits():
+    with pytest.raises(ValueError):
+        CompressedTagTable(bits=0)

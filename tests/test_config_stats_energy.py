@@ -1,0 +1,137 @@
+"""Tests for MachineConfig, SimulationResult metrics, and the energy
+model."""
+
+import pytest
+
+from repro.memory.hierarchy import CoreCounters
+from repro.sim.config import KB, MB, MachineConfig
+from repro.sim.energy import (
+    EnergyComparison,
+    metadata_energy,
+    misb_vs_triage_energy,
+)
+from repro.sim.stats import MultiCoreResult, SimulationResult, geomean
+
+
+def test_table1_defaults():
+    config = MachineConfig()
+    assert config.l1_size == 64 * KB
+    assert config.l2_size == 512 * KB
+    assert config.llc_size_per_core == 2 * MB
+    assert config.llc_ways == 16
+    assert config.dram_latency_cycles == 170.0
+
+
+def test_llc_way_math():
+    config = MachineConfig()
+    assert config.llc_way_bytes == 128 * KB
+    assert config.metadata_ways(1 * MB) == 8
+    assert config.metadata_ways(512 * KB) == 4
+    assert config.metadata_ways(0) == 0
+    assert config.metadata_ways(1) == 1  # rounds up
+
+
+def test_scaled_preserves_ratios():
+    config = MachineConfig.scaled(4)
+    assert config.llc_size_per_core == 512 * KB
+    assert config.metadata_ways(256 * KB) == 8  # half the LLC, as 1MB/2MB
+    assert config.llc_ways == 16
+
+
+def test_multi_core_grows_shared_llc():
+    config = MachineConfig.multi_core(4)
+    assert config.llc_total_size == 8 * MB
+    assert config.with_cores(8).n_cores == 8
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        MachineConfig(n_cores=0)
+
+
+def result_with(l2_prefetch_hits=0, llc_hits=0, dram=0, issued=0, cycles=100.0,
+                traffic=None):
+    counters = CoreCounters(
+        l2_prefetch_hits=l2_prefetch_hits,
+        llc_hits=llc_hits,
+        dram_accesses=dram,
+        prefetches_issued=issued,
+    )
+    return SimulationResult(
+        workload="w",
+        prefetcher="p",
+        instructions=1000.0,
+        cycles=cycles,
+        counters=counters,
+        traffic=traffic or {"demand": 0, "prefetch": 0, "writeback": 0, "metadata": 0},
+    )
+
+
+def test_coverage_and_accuracy():
+    r = result_with(l2_prefetch_hits=30, llc_hits=10, dram=60, issued=50)
+    assert r.coverage == pytest.approx(0.3)
+    assert r.accuracy == pytest.approx(0.6)
+
+
+def test_coverage_zero_when_no_misses():
+    r = result_with()
+    assert r.coverage == 0.0
+    assert r.accuracy == 0.0
+
+
+def test_speedup_and_ipc():
+    base = result_with(cycles=200.0)
+    fast = result_with(cycles=100.0)
+    assert fast.speedup_over(base) == pytest.approx(2.0)
+    assert fast.ipc == pytest.approx(10.0)
+
+
+def test_traffic_overhead_and_miss_reduction():
+    base = result_with(dram=100, traffic={"demand": 1000, "prefetch": 0,
+                                          "writeback": 0, "metadata": 0})
+    mine = result_with(dram=60, traffic={"demand": 600, "prefetch": 700,
+                                         "writeback": 0, "metadata": 100})
+    assert mine.traffic_overhead_vs(base) == pytest.approx(0.4)
+    assert mine.miss_reduction_over(base) == pytest.approx(0.4)
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([]) == 0.0
+    with pytest.raises(ValueError):
+        geomean([1.0, -1.0])
+
+
+def test_multicore_speedup_is_geomean_of_cores():
+    base = MultiCoreResult(["a", "b"], "none",
+                           [result_with(cycles=200.0), result_with(cycles=100.0)],
+                           {"demand": 100})
+    mine = MultiCoreResult(["a", "b"], "p",
+                           [result_with(cycles=100.0), result_with(cycles=100.0)],
+                           {"demand": 100})
+    assert mine.speedup_over(base) == pytest.approx(2.0 ** 0.5)
+    with pytest.raises(ValueError):
+        mine.speedup_over(MultiCoreResult(["a"], "none",
+                                          [result_with()], {}))
+
+
+def test_metadata_energy_units():
+    assert metadata_energy(10, 0) == 10.0
+    assert metadata_energy(0, 2) == 50.0
+    assert metadata_energy(10, 2, dram_unit=10.0) == 30.0
+
+
+def test_misb_vs_triage_energy_bounds():
+    cmp = misb_vs_triage_energy(
+        misb_dram_accesses=100, misb_llc_accesses=0, triage_llc_accesses=100
+    )
+    assert isinstance(cmp, EnergyComparison)
+    assert cmp.nominal == pytest.approx(25.0)
+    assert cmp.low == pytest.approx(10.0)
+    assert cmp.high == pytest.approx(50.0)
+    assert cmp.low <= cmp.nominal <= cmp.high
+
+
+def test_energy_zero_triage_guard():
+    cmp = misb_vs_triage_energy(100, 0, 0)
+    assert cmp.nominal == 0.0

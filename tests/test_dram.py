@@ -1,0 +1,60 @@
+"""Unit tests for the DRAM model and traffic counters."""
+
+import pytest
+
+from repro.memory.dram import DramModel, TrafficCounter
+
+
+def test_traffic_counter_categories():
+    traffic = TrafficCounter()
+    traffic.add("demand")
+    traffic.add("prefetch", 128)
+    assert traffic.total_bytes == 64 + 128
+    assert traffic.snapshot()["demand"] == 64
+
+
+def test_traffic_counter_rejects_unknown_category():
+    with pytest.raises(ValueError):
+        TrafficCounter().add("bogus")
+
+
+def test_overhead_vs_baseline():
+    traffic = TrafficCounter()
+    traffic.add("demand", 150)
+    assert traffic.overhead_vs(100) == pytest.approx(0.5)
+    assert traffic.overhead_vs(0) == 0.0
+
+
+def test_effective_latency_flat_at_low_utilization():
+    dram = DramModel(base_latency_cycles=170)
+    assert dram.effective_latency(0.0) == pytest.approx(170.0)
+    assert dram.effective_latency(0.1) < 175.0
+
+
+def test_effective_latency_grows_and_caps():
+    dram = DramModel(base_latency_cycles=100, max_inflation=8.0)
+    mid = dram.effective_latency(0.7)
+    high = dram.effective_latency(0.95)
+    assert 100 < mid < high
+    assert high <= 800.0
+    assert dram.effective_latency(2.0) <= 800.0  # clamped utilization
+
+
+def test_utilization():
+    dram = DramModel(bandwidth_bytes_per_cycle=16)
+    assert dram.utilization(160, 100) == pytest.approx(0.1)
+    assert dram.utilization(999999, 1) == 1.0
+    assert dram.utilization(0, 0) == 0.0
+    assert dram.utilization(10, 0) == 1.0
+
+
+def test_min_cycles_for_bytes():
+    dram = DramModel(bandwidth_bytes_per_cycle=16)
+    assert dram.min_cycles_for_bytes(160) == pytest.approx(10.0)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        DramModel(base_latency_cycles=0)
+    with pytest.raises(ValueError):
+        DramModel(bandwidth_bytes_per_cycle=-1)

@@ -1,0 +1,42 @@
+"""Semantics of HierarchyEvent and the training-stream contract."""
+
+from repro.memory.hierarchy import CacheHierarchy, HierarchyEvent
+
+
+def test_event_training_stream_membership():
+    assert HierarchyEvent(0, 0, 0, "llc").trains_l2_prefetcher
+    assert HierarchyEvent(0, 0, 0, "dram").trains_l2_prefetcher
+    assert not HierarchyEvent(0, 0, 0, "l1").trains_l2_prefetcher
+    assert not HierarchyEvent(0, 0, 0, "l2").trains_l2_prefetcher
+    assert HierarchyEvent(0, 0, 0, "l2", prefetch_hit_kind="l2").trains_l2_prefetcher
+    assert HierarchyEvent(0, 0, 0, "l2", prefetch_hit_kind="l1").trains_l2_prefetcher
+
+
+def test_event_l2_prefetch_hit_property():
+    assert HierarchyEvent(0, 0, 0, "l2", prefetch_hit_kind="l2").l2_prefetch_hit
+    assert not HierarchyEvent(0, 0, 0, "l2", prefetch_hit_kind="l1").l2_prefetch_hit
+    assert not HierarchyEvent(0, 0, 0, "l2").l2_prefetch_hit
+
+
+def test_training_stream_sequence_matches_paper_figure4():
+    """Fig 4: the prefetcher sees L2 misses and L2 prefetch hits, and
+    nothing else."""
+    h = CacheHierarchy(
+        n_cores=1, l1_size=512, l1_ways=2, l2_size=2048, l2_ways=2,
+        llc_size_per_core=8192, llc_ways=4,
+    )
+    observed = []
+    # Distinct L2 sets so fills never evict the prefetched line.
+    script = [0x1000, 0x1000, 0x2040, 0x1000]
+    h.prefetch(0, line=0x3080 >> 6, kind="l2")
+    script.append(0x3080)
+    for addr in script:
+        event = h.access(0, 1, addr)
+        if event.trains_l2_prefetcher:
+            observed.append((event.line, event.hit_level, event.prefetch_hit_kind))
+    # Miss on 0x1000, miss on 0x2040, prefetch-hit on 0x3080; the L1 hit
+    # on the second 0x1000 and the L1/L2 re-hit never train.
+    assert (0x1000 >> 6, "dram", None) in observed
+    assert (0x2040 >> 6, "dram", None) in observed
+    assert any(line == 0x3080 >> 6 and kind == "l2" for line, _, kind in observed)
+    assert len(observed) == 3

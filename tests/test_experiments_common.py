@@ -1,0 +1,82 @@
+"""Tests for the experiment infrastructure (tables, specs, caching)."""
+
+import pytest
+
+from repro.experiments import common
+from repro.core.triage import TriagePrefetcher
+from repro.prefetchers.hybrid import HybridPrefetcher
+
+
+def test_experiment_table_render_and_access():
+    table = common.ExperimentTable("T", ["a", "b"])
+    table.add("x", 1.234567)
+    table.add("y", 2)
+    table.notes.append("hello")
+    text = str(table)
+    assert "== T ==" in text
+    assert "1.235" in text
+    assert "note: hello" in text
+    assert table.column("b") == [1.234567, 2]
+    assert table.row("y") == ["y", 2]
+    with pytest.raises(KeyError):
+        table.row("z")
+
+
+def test_experiment_table_csv():
+    table = common.ExperimentTable("T", ["a", "b"])
+    table.add("x", 1.5)
+    csv_text = table.to_csv()
+    assert csv_text.splitlines() == ["a,b", "x,1.5"]
+
+
+def test_make_spec_builds_fresh_instances():
+    a = common.make_spec("triage_1mb")
+    b = common.make_spec("triage_1mb")
+    assert a is not b
+    assert isinstance(a, TriagePrefetcher)
+    assert a.metadata_capacity_bytes == common.CAP_LARGE
+
+
+def test_make_spec_scaled_capacities():
+    pf = common.make_spec("triage_1mb", scale=common.MULTI_SCALE)
+    assert pf.metadata_capacity_bytes == (1024 * 1024) // common.MULTI_SCALE
+
+
+def test_make_spec_hybrid_and_custom_geometry():
+    hybrid = common.make_spec("bo+triage_dynamic")
+    assert isinstance(hybrid, HybridPrefetcher)
+    custom = common.make_spec("triage@8192:lru:8")
+    assert custom.metadata_capacity_bytes == 8192
+    assert custom.config.replacement == "lru"
+    assert custom.config.tag_bits == 8
+
+
+def test_make_spec_unknown_rejected():
+    with pytest.raises(ValueError):
+        common.make_spec("hal9000")
+
+
+def test_labels_cover_headline_configs():
+    for name in ("bo", "sms", "misb", "triage_1mb", "triage_dynamic"):
+        assert common.label(name) != name  # has a paper-facing label
+
+
+def test_pct():
+    assert common.pct(1.235) == pytest.approx(23.5)
+
+
+def test_run_single_is_memoized():
+    r1 = common.run_single("mcf", "none", n=4000)
+    r2 = common.run_single("mcf", "none", n=4000)
+    assert r1 is r2
+
+
+def test_run_single_distinct_configs_not_conflated():
+    base = common.run_single("mcf", "none", n=4000)
+    other = common.run_single("mcf", "none", n=4000, seed=2)
+    assert base is not other
+
+
+def test_capacities_for_scale():
+    assert common.capacities_for_scale(4) == (0, 128 * 1024, 256 * 1024)
+    assert common.capacities_for_scale(8) == (0, 64 * 1024, 128 * 1024)

@@ -1,0 +1,80 @@
+"""Tests for the prefetcher factory."""
+
+import pytest
+
+from repro.core.triage import TriageConfig, TriagePrefetcher
+from repro.prefetchers import (
+    BasePrefetcher,
+    BestOffsetPrefetcher,
+    HybridPrefetcher,
+    MisbPrefetcher,
+    SmsPrefetcher,
+)
+from repro.sim.factory import make_prefetcher
+
+
+def test_none_specs():
+    assert make_prefetcher(None) is None
+    assert make_prefetcher("none") is None
+    assert make_prefetcher("") is None
+
+
+def test_simple_names():
+    assert isinstance(make_prefetcher("bo"), BestOffsetPrefetcher)
+    assert isinstance(make_prefetcher("sms"), SmsPrefetcher)
+    assert isinstance(make_prefetcher("misb"), MisbPrefetcher)
+
+
+def test_degree_propagates():
+    pf = make_prefetcher("bo", degree=4)
+    assert pf.degree == 4
+
+
+def test_triage_variants():
+    pf = make_prefetcher("triage_512kb")
+    assert isinstance(pf, TriagePrefetcher)
+    assert pf.metadata_capacity_bytes == 512 * 1024
+    dyn = make_prefetcher("triage_dynamic")
+    assert dyn.controller is not None
+    lru = make_prefetcher("triage_lru")
+    assert lru.config.replacement == "lru"
+    ideal = make_prefetcher("triage_ideal")
+    assert ideal.store.unbounded
+
+
+def test_hybrid_parsing():
+    pf = make_prefetcher("bo+triage")
+    assert isinstance(pf, HybridPrefetcher)
+    assert pf.name == "bo+triage"
+    assert len(pf.components) == 2
+
+
+def test_instance_passthrough():
+    instance = BestOffsetPrefetcher()
+    assert make_prefetcher(instance) is instance
+
+
+def test_triage_config_passthrough():
+    pf = make_prefetcher(TriageConfig(metadata_capacity=4096))
+    assert isinstance(pf, TriagePrefetcher)
+
+
+def test_callable_factory():
+    pf = make_prefetcher(lambda: BestOffsetPrefetcher())
+    assert isinstance(pf, BestOffsetPrefetcher)
+    assert make_prefetcher(lambda: None) is None
+
+
+def test_callable_returning_junk_rejected():
+    with pytest.raises(TypeError):
+        make_prefetcher(lambda: 42)
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ValueError):
+        make_prefetcher("teleporting_prefetcher")
+
+
+def test_non_string_spec_rejected():
+    with pytest.raises(TypeError):
+        make_prefetcher(3.14)

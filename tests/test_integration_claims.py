@@ -1,0 +1,121 @@
+"""End-to-end integration tests for the paper's core qualitative claims,
+on miniature workloads so they run in seconds.
+
+These are the invariants the full benchmark suite measures at scale; here
+they guard against regressions in the machinery itself.
+"""
+
+from dataclasses import replace
+from functools import lru_cache
+
+from repro.core.triage import TriageConfig
+from repro.prefetchers.misb import MisbPrefetcher
+from repro.sim.config import MachineConfig
+from repro.sim.single_core import simulate
+from repro.workloads.irregular import chain_trace, shuffled_reuse_trace
+from repro.workloads.regular import stream_trace
+
+KB = 1024
+MACHINE = MachineConfig.scaled(16)  # 128 KB LLC, 32 KB L2, 4 KB L1
+
+
+@lru_cache(maxsize=None)
+def _chain_cached(n, items):
+    return chain_trace("c", n, seed=1, **dict(items))
+
+
+def chain(n=28_000, **kw):
+    params = dict(
+        hot_lines=3_000, cold_lines=6_000, hot_fraction=0.75,
+        noise=0.01, sequential_frac=0.1,
+    )
+    params.update(kw)
+    return _chain_cached(n, tuple(sorted(params.items())))
+
+
+def triage(capacity=32 * KB, **kw):
+    return TriageConfig(
+        metadata_capacity=capacity, capacities=(0, 16 * KB, 32 * KB),
+        epoch_accesses=2000, **kw,
+    )
+
+
+def test_claim_triage_beats_bo_on_irregular():
+    trace = chain()
+    base = simulate(trace, None, machine=MACHINE)
+    t = simulate(trace, triage(), machine=MACHINE)
+    bo = simulate(trace, "bo", machine=MACHINE)
+    assert t.speedup_over(base) > bo.speedup_over(base)
+    assert t.coverage > bo.coverage
+    assert t.accuracy > bo.accuracy
+
+
+def test_claim_triage_traffic_far_below_misb():
+    trace = chain()
+    base = simulate(trace, None, machine=MACHINE)
+    t = simulate(trace, triage(), machine=MACHINE)
+    misb = simulate(trace, MisbPrefetcher(onchip_bytes=3 * KB), machine=MACHINE)
+    assert t.traffic_overhead_vs(base) < misb.traffic_overhead_vs(base)
+    assert t.traffic["metadata"] == 0  # no off-chip metadata, ever
+    assert misb.traffic["metadata"] > 0
+
+
+def test_claim_metadata_energy_all_on_chip():
+    trace = chain()
+    t = simulate(trace, triage(), machine=MACHINE)
+    assert t.metadata_llc_accesses > 0
+    assert t.metadata_dram_accesses == 0
+
+
+def test_claim_hawkeye_beats_lru_at_small_store():
+    trace = chain(hot_lines=2_000, cold_lines=12_000, hot_fraction=0.6)
+    base = simulate(trace, None, machine=MACHINE)
+    small = 8 * KB  # far smaller than the metadata demand
+    hawkeye = simulate(
+        trace, triage(capacity=small), machine=MACHINE,
+        charge_metadata_to_llc=False,
+    )
+    lru = simulate(
+        trace, triage(capacity=small, replacement="lru"), machine=MACHINE,
+        charge_metadata_to_llc=False,
+    )
+    assert hawkeye.coverage >= lru.coverage
+    assert hawkeye.speedup_over(base) >= lru.speedup_over(base) - 0.01
+
+
+def test_claim_temporal_cannot_cover_compulsory_misses():
+    trace = stream_trace("s", 20_000, seed=1, n_streams=2)
+    machine = replace(MACHINE, l1_prefetcher="none")
+    t = simulate(trace, triage(), machine=machine)
+    assert t.coverage < 0.02
+
+
+def test_claim_unstable_pairs_yield_no_coverage():
+    trace = shuffled_reuse_trace("b", 30_000, seed=1, n_lines=4_000)
+    t = simulate(trace, triage(), machine=MACHINE)
+    assert t.coverage < 0.15
+
+
+def test_claim_capacity_loss_vs_prefetch_benefit():
+    """Figure 7 in miniature: Triage with a free store beats Triage that
+    pays LLC ways, which still beats no prefetching; halving the cache
+    without prefetching loses."""
+    trace = chain()
+    base = simulate(trace, None, machine=MACHINE)
+    free = simulate(trace, triage(), machine=MACHINE, charge_metadata_to_llc=False)
+    paid = simulate(trace, triage(), machine=MACHINE)
+    half = simulate(
+        trace, None,
+        machine=replace(MACHINE, llc_size_per_core=MACHINE.llc_size_per_core // 2),
+    )
+    assert free.speedup_over(base) >= paid.speedup_over(base) - 0.02
+    assert paid.speedup_over(base) > 1.0
+    assert half.speedup_over(base) < 1.0
+
+
+def test_claim_degree_raises_coverage_and_metadata_energy():
+    trace = chain()
+    d1 = simulate(trace, triage(), machine=MACHINE, degree=1)
+    d4 = simulate(trace, triage(degree=4), machine=MACHINE)
+    assert d4.coverage >= d1.coverage - 0.02
+    assert d4.metadata_llc_accesses > d1.metadata_llc_accesses

@@ -1,0 +1,70 @@
+"""Unit tests for the (idealized) Irregular Stream Buffer."""
+
+from repro.prefetchers.isb import STREAM_GRANULE, IsbPrefetcher
+
+
+def feed(pf, pc, lines):
+    return [[c.line for c in pf.observe(pc, line)] for line in lines]
+
+
+def test_learns_pc_localized_chain():
+    pf = IsbPrefetcher(degree=1)
+    chain = [10, 77, 3, 520, 14]
+    feed(pf, 0xA, chain)
+    results = feed(pf, 0xA, chain)
+    # Second traversal: each access predicts its chain successor.
+    assert results[1:] == [[3], [520], [14], []]or results[1:] == [[3], [520], [14], [chain[0]]]
+
+
+def test_pc_localization_separates_interleaved_streams():
+    pf = IsbPrefetcher(degree=1)
+    a = [1, 2, 3, 4]
+    b = [100, 200, 300, 400]
+    # Interleave the two streams; each keeps its own PC.
+    for x, y in zip(a, b):
+        pf.observe(0xA, x)
+        pf.observe(0xB, y)
+    assert feed(pf, 0xA, [2])[-1] == [3]
+    assert feed(pf, 0xB, [200])[-1] == [300]
+
+
+def test_degree_walks_structural_space():
+    pf = IsbPrefetcher(degree=3)
+    chain = [5, 9, 13, 17, 21]
+    feed(pf, 0xA, chain)
+    assert feed(pf, 0xA, [5])[-1] == [9, 13, 17]
+
+
+def test_confidence_protects_learned_mapping():
+    pf = IsbPrefetcher(degree=1, confidence_bits=2)
+    chain = [1, 2, 3, 4]
+    feed(pf, 0xA, chain)
+    feed(pf, 0xA, chain)  # strengthen the whole chain
+    pf.observe(0xA, 2)
+    pf.observe(0xA, 99)  # one noisy pair (2 -> 99)
+    assert feed(pf, 0xA, [2])[-1] == [3]
+
+
+def test_repeated_disagreement_eventually_remaps():
+    pf = IsbPrefetcher(degree=1, confidence_bits=1)
+    feed(pf, 0xA, [1, 2])
+    for _ in range(6):
+        pf.observe(0xA, 1)
+        pf.observe(0xA, 99)
+    assert feed(pf, 0xA, [1])[-1] == [99]
+
+
+def test_streams_get_disjoint_granules():
+    pf = IsbPrefetcher()
+    pf.observe(0xA, 1)
+    pf.observe(0xA, 2)
+    pf.observe(0xB, 500)
+    pf.observe(0xB, 501)
+    structs = [pf._ps[line] for line in (1, 500)]
+    assert structs[0] // STREAM_GRANULE != structs[1] // STREAM_GRANULE
+
+
+def test_mapped_pairs_counts_sp_entries():
+    pf = IsbPrefetcher()
+    feed(pf, 0xA, [1, 2, 3])
+    assert pf.mapped_pairs == 3

@@ -1,0 +1,41 @@
+"""Unit tests for the Markov prefetcher."""
+
+from repro.prefetchers.markov import MarkovPrefetcher
+
+
+def feed(pf, lines):
+    return [[c.line for c in pf.observe(0, line)] for line in lines]
+
+
+def test_learns_global_successors():
+    pf = MarkovPrefetcher(degree=1)
+    feed(pf, [1, 2, 3, 1])
+    assert feed(pf, [9])[-1] == []  # 9 never seen as trigger... trains (1,9)
+    assert feed(pf, [2])[-1] == [3]
+
+
+def test_most_recent_successor_first():
+    pf = MarkovPrefetcher(degree=2)
+    feed(pf, [1, 2, 1, 3, 1])
+    # Observing 0 trains (1 -> 0); 1's successors are now [0, 3, 2] and
+    # the next query returns the two most recent.
+    assert feed(pf, [0, 1])[-1] == [0, 3]
+
+
+def test_successor_list_caps():
+    pf = MarkovPrefetcher(degree=8, successors_per_entry=2)
+    feed(pf, [1, 2, 1, 3, 1, 4, 1, 5, 1])
+    candidates = feed(pf, [0, 1])[-1]
+    assert len(candidates) <= 2
+
+
+def test_table_capacity_lru():
+    pf = MarkovPrefetcher(degree=1, table_entries=2)
+    feed(pf, [1, 2, 3, 4])  # pairs (1,2),(2,3),(3,4) but only 2 entries
+    assert len(pf._table) <= 2
+
+
+def test_self_loop_not_recorded():
+    pf = MarkovPrefetcher(degree=1)
+    feed(pf, [1, 1, 1])
+    assert feed(pf, [1])[-1] == []

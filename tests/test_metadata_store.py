@@ -1,0 +1,129 @@
+"""Unit tests for Triage's on-chip metadata store."""
+
+import pytest
+
+from repro.core.metadata_store import (
+    ENTRIES_PER_LINE,
+    ENTRY_BYTES,
+    MetadataStore,
+)
+
+
+def test_geometry_from_capacity():
+    store = MetadataStore(capacity_bytes=64 * 1024)
+    assert store.capacity_entries == 64 * 1024 // ENTRY_BYTES
+    assert store.num_sets == store.capacity_entries // ENTRIES_PER_LINE
+
+
+def test_lookup_miss_then_update_then_hit():
+    store = MetadataStore(capacity_bytes=4096)
+    assert store.lookup(10) is None
+    store.update(10, 999)
+    assert store.lookup(10) == 999
+
+
+def test_successor_roundtrip_via_compressed_tags():
+    store = MetadataStore(capacity_bytes=4096, use_compressed_tags=True)
+    successor = (0x3F << 11) | 0x2A5  # non-trivial tag + set_id
+    store.update(1, successor)
+    assert store.lookup(1) == successor
+
+
+def test_uncompressed_mode():
+    store = MetadataStore(capacity_bytes=4096, use_compressed_tags=False)
+    store.update(1, 0xDEADBEEF)
+    assert store.lookup(1) == 0xDEADBEEF
+
+
+def test_confidence_protects_then_replaces():
+    store = MetadataStore(capacity_bytes=4096)
+    store.update(5, 100)  # entry (5 -> 100), confidence 1
+    store.update(5, 200)  # disagreement: confidence 0, keeps 100
+    assert store.lookup(5) == 100
+    store.update(5, 200)  # second disagreement: replace
+    assert store.lookup(5) == 200
+
+
+def test_confidence_rearms_on_agreement():
+    store = MetadataStore(capacity_bytes=4096)
+    store.update(5, 100)
+    store.update(5, 200)  # conf -> 0
+    store.update(5, 100)  # agreement re-arms
+    store.update(5, 300)  # one disagreement only drops confidence
+    assert store.lookup(5) == 100
+
+
+def test_capacity_bound_and_eviction():
+    store = MetadataStore(capacity_bytes=ENTRY_BYTES * ENTRIES_PER_LINE)  # 1 set
+    for trigger in range(ENTRIES_PER_LINE + 4):
+        store.update(trigger * store.num_sets if store.num_sets else trigger, trigger)
+    assert store.occupancy() <= ENTRIES_PER_LINE
+    assert store.evictions >= 4
+
+
+def test_zero_capacity_discards_everything():
+    store = MetadataStore(capacity_bytes=0)
+    store.update(1, 2)
+    assert store.lookup(1) is None
+    assert store.occupancy() == 0
+
+
+def test_unbounded_store():
+    store = MetadataStore(capacity_bytes=None, use_compressed_tags=False)
+    for trigger in range(10_000):
+        store.update(trigger, trigger + 1)
+    assert store.occupancy() == 10_000
+    assert store.lookup(1234) == 1235
+    with pytest.raises(ValueError):
+        store.resize(1024)
+    with pytest.raises(ValueError):
+        _ = store.capacity_entries
+
+
+def test_resize_preserves_entries_up_to_capacity():
+    store = MetadataStore(capacity_bytes=8192)
+    for trigger in range(100):
+        store.update(trigger, trigger + 1)
+    store.resize(16384)
+    assert store.lookup(50) == 51
+    store.resize(1024)
+    assert store.occupancy() <= 1024 // ENTRY_BYTES
+
+
+def test_llc_access_accounting():
+    store = MetadataStore(capacity_bytes=4096)
+    store.lookup(1)
+    store.update(1, 2)
+    assert store.llc_accesses == 2
+
+
+def test_reuse_tracking():
+    store = MetadataStore(capacity_bytes=4096, track_reuse=True)
+    store.update(1, 2)
+    store.lookup(1)
+    store.lookup(1)
+    assert store.reuse_counts[1] == 2
+
+
+def test_lru_policy_variant():
+    store = MetadataStore(capacity_bytes=4096, policy="lru")
+    store.update(1, 2)
+    assert store.lookup(1) == 2
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        MetadataStore(capacity_bytes=4096, policy="fifo")
+
+
+def test_record_prefetch_outcome_redundant_ignored():
+    store = MetadataStore(capacity_bytes=4096)
+    # Redundant outcomes must not feed the Hawkeye sampler.
+    policy = store._policy
+    before = sum(s.accesses for s in policy._samplers.values())
+    store.record_prefetch_outcome(1, pc=5, redundant=True)
+    after = sum(s.accesses for s in policy._samplers.values())
+    assert before == after
+    store.record_prefetch_outcome(1, pc=5, redundant=False)
+    final = sum(s.accesses for s in policy._samplers.values())
+    assert final == after + 1

@@ -1,0 +1,109 @@
+"""Integration tests for the multi-core simulator."""
+
+import pytest
+
+from repro.core.triage import TriageConfig
+from repro.sim.config import MachineConfig
+from repro.sim.multi_core import simulate_multicore
+from repro.workloads.irregular import chain_trace
+from repro.workloads.regular import stream_trace
+
+KB = 1024
+SCALE = 16
+
+
+def machine(n_cores):
+    return MachineConfig.scaled(SCALE, n_cores=n_cores)
+
+
+def chain(seed, arena):
+    return chain_trace(
+        f"chain{arena}", 16_000, seed,
+        hot_lines=2_500, cold_lines=2_500, hot_fraction=0.8,
+        noise=0.0, sequential_frac=0.0, arena=arena,
+    )
+
+
+def triage_factory():
+    return TriageConfig(
+        metadata_capacity=16 * KB, capacities=(0, 8 * KB, 16 * KB),
+        epoch_accesses=2000,
+    )
+
+
+def test_core_count_must_match_machine():
+    with pytest.raises(ValueError):
+        simulate_multicore([chain(1, 50)], None, machine=machine(2))
+    with pytest.raises(ValueError):
+        simulate_multicore([], None)
+
+
+def test_two_core_run_produces_per_core_results():
+    traces = [chain(1, 50), chain(2, 52)]
+    result = simulate_multicore(traces, None, machine=machine(2))
+    assert result.n_cores == 2
+    assert all(r.cycles > 0 for r in result.per_core)
+    assert result.total_traffic_bytes > 0
+
+
+def test_triage_helps_multicore_chains():
+    traces = [chain(1, 50), chain(2, 52)]
+    base = simulate_multicore(traces, None, machine=machine(2))
+    triage = simulate_multicore(
+        traces, triage_factory, machine=machine(2)
+    )
+    assert triage.speedup_over(base) > 1.03
+    assert all(r.counters.l2_prefetch_hits > 0 for r in triage.per_core)
+
+
+def test_traces_restart_when_exhausted():
+    traces = [chain(1, 50).head(2000), chain(2, 52)]
+    result = simulate_multicore(
+        traces, None, machine=machine(2), accesses_per_core=8000
+    )
+    # Core 0's 2000-access trace looped 4x; counters reflect all 8000.
+    assert result.per_core[0].counters.accesses == 8000
+
+
+def test_warmup_resets_multicore_stats():
+    traces = [chain(1, 50), chain(2, 52)]
+    result = simulate_multicore(
+        traces, None, machine=machine(2),
+        accesses_per_core=6000, warmup_accesses_per_core=6000,
+    )
+    assert all(r.counters.accesses == 6000 for r in result.per_core)
+
+
+def test_shared_bandwidth_hurts_at_scale():
+    """A bandwidth-hungry workload slows down when 8 cores share the bus."""
+
+    def stream(seed, arena):
+        return stream_trace(
+            f"s{arena}", 16_000, seed=seed, n_streams=2, arena=arena, mlp=8.0
+        )
+
+    solo = simulate_multicore([stream(1, 50)], None, machine=machine(1))
+    many_traces = [stream(i + 1, 50 + 2 * i) for i in range(8)]
+    many = simulate_multicore(many_traces, None, machine=machine(8))
+    assert many.per_core[0].cycles > solo.per_core[0].cycles * 1.2
+
+
+def test_percore_dynamic_partitions_are_independent():
+    """An irregular core earns metadata ways; a streaming core gives
+    its allocation back."""
+    traces = [
+        chain(1, 50),
+        stream_trace("s", 16_000, seed=2, n_streams=2, arena=60),
+    ]
+
+    def dyn():
+        return TriageConfig(
+            dynamic=True, capacities=(0, 8 * KB, 16 * KB),
+            epoch_accesses=1000, partition_warmup_epochs=0,
+        )
+
+    result = simulate_multicore(traces, dyn, machine=machine(2))
+    irregular_cap = result.per_core[0].final_metadata_capacity
+    stream_cap = result.per_core[1].final_metadata_capacity
+    assert stream_cap == 0
+    assert irregular_cap >= 8 * KB

@@ -1,0 +1,89 @@
+"""Unit tests for OPTgen."""
+
+import pytest
+
+from repro.replacement.optgen import OptGen
+
+
+def test_first_access_is_compulsory():
+    og = OptGen(4)
+    assert og.access(1) is None
+    assert og.compulsory == 1
+
+
+def test_reuse_within_capacity_hits():
+    og = OptGen(4)
+    og.access(1)
+    assert og.access(1) is True
+    assert og.hits == 1
+
+
+def test_cycling_beyond_capacity_misses_partially():
+    """Cycling over 2x capacity keys: OPT keeps exactly `capacity` of
+    them, so the steady-state hit rate is 1/2."""
+    og = OptGen(4)
+    for _ in range(50):
+        for key in range(8):
+            og.access(key)
+    assert og.demand_hit_rate() == pytest.approx(0.5, abs=0.05)
+
+
+def test_capacity_covers_everything():
+    og = OptGen(16)
+    for _ in range(10):
+        for key in range(8):
+            og.access(key)
+    assert og.misses == 0
+    assert og.hits == 72
+
+
+def test_window_expires_old_accesses():
+    og = OptGen(2, history_mult=2)  # window of 4
+    og.access(1)
+    for key in range(100, 120):
+        og.access(key)
+    # 1's previous access fell out of the window: compulsory again.
+    assert og.access(1) is None
+
+
+def test_occupancy_blocks_overlapping_intervals():
+    """Two long overlapping intervals cannot both hit at capacity 1."""
+    og = OptGen(1)
+    og.access(1)
+    og.access(2)
+    assert og.access(1) is True  # occupies [t0, t2)
+    assert og.access(2) is False  # interval [t1, t3) crosses full quantum
+
+
+def test_hit_rate_definitions():
+    og = OptGen(4)
+    assert og.hit_rate() == 0.0
+    og.access(1)
+    og.access(1)
+    assert og.hit_rate() == pytest.approx(0.5)
+    assert og.demand_hit_rate() == pytest.approx(1.0)
+
+
+def test_reset_stats_keeps_state():
+    og = OptGen(4)
+    og.access(1)
+    og.reset_stats()
+    assert og.accesses == 0
+    assert og.access(1) is True  # history retained
+
+
+def test_bad_capacity_rejected():
+    with pytest.raises(ValueError):
+        OptGen(0)
+
+
+def test_larger_capacity_never_hits_less():
+    import random
+
+    rnd = random.Random(7)
+    keys = [rnd.randrange(40) for _ in range(2000)]
+    small, large = OptGen(8), OptGen(16)
+    for key in keys:
+        small.access(key)
+        large.access(key)
+    assert large.hits >= small.hits

@@ -1,0 +1,107 @@
+"""Unit tests for the dynamic partition controller."""
+
+import pytest
+
+from repro.core.partition import PartitionController
+
+KB = 1024
+
+
+def controller(**kw):
+    defaults = dict(
+        capacities=(0, 128 * KB, 256 * KB),
+        epoch_accesses=1000,
+        sample_shift=0,  # sample everything: deterministic tests
+        warmup_epochs=0,
+        start_index=1,
+    )
+    defaults.update(kw)
+    return PartitionController(**defaults)
+
+
+def drive(ctl, stream):
+    decisions = []
+    for key in stream:
+        decision = ctl.note_access(key)
+        if decision is not None:
+            decisions.append(decision)
+    return decisions
+
+
+def test_rejects_bad_capacities():
+    with pytest.raises(ValueError):
+        PartitionController(capacities=(0, 2, 1))
+    with pytest.raises(ValueError):
+        PartitionController(capacities=(1, 2, 3))
+
+
+def test_no_reuse_shrinks_to_zero():
+    ctl = controller(capacities=(0, 2 * KB, 4 * KB))
+    # A pure compulsory stream: fresh key every access.
+    stream = list(range(10_000))
+    decisions = drive(ctl, stream)
+    assert decisions[-1].capacity_bytes == 0
+
+
+def test_modest_reuse_grows_from_zero():
+    ctl = controller(start_index=0)
+    # Cycle a small hot set: OPT hit rate is high at the small size.
+    stream = [i % 500 for i in range(10_000)]
+    decisions = drive(ctl, stream)
+    assert decisions[-1].capacity_bytes >= 128 * KB
+
+
+def test_epoch_cadence():
+    ctl = controller(epoch_accesses=500)
+    decisions = drive(ctl, [i % 100 for i in range(2500)])
+    assert len(decisions) == 5
+
+
+def test_warmup_holds_allocation():
+    ctl = controller(warmup_epochs=3, start_index=2)
+    decisions = drive(ctl, list(range(3000)))  # no reuse at all
+    assert [d.capacity_bytes for d in decisions] == [256 * KB] * 3
+    decisions = drive(ctl, list(range(3000, 9000)))
+    assert decisions[-1].capacity_bytes < 256 * KB
+
+
+def test_shrink_to_zero_needs_two_low_epochs():
+    ctl = controller()
+    # One dead epoch (all fresh keys)...
+    drive(ctl, list(range(1000)))
+    assert ctl.capacity_bytes == 128 * KB  # hysteresis holds
+    # ...a second dead epoch pulls the plug.  (EMA decays: give it two.)
+    drive(ctl, list(range(10_000, 13_000)))
+    assert ctl.capacity_bytes == 0
+
+
+def test_grow_to_max_when_large_sandbox_wins():
+    # Small candidate sizes keep the sandboxes (and OPTgen's interval
+    # scans) tiny; the capacities' ratio is what matters.
+    ctl = controller(capacities=(0, 2 * KB, 4 * KB), epoch_accesses=500)
+    small_cap = ctl.sandbox_small.capacity  # 512 entries
+    # Working set between the two sandbox capacities: the large sandbox
+    # hits, the small one thrashes.
+    working = int(small_cap * 1.5)
+    stream = [i % working for i in range(working * 10)]
+    drive(ctl, stream)
+    assert ctl.capacity_bytes == 4 * KB
+
+
+def test_decisions_record_history():
+    ctl = controller()
+    drive(ctl, [i % 100 for i in range(3000)])
+    assert len(ctl.decisions) == 3
+    assert all(hasattr(d, "small_hit_rate") for d in ctl.decisions)
+
+
+def test_sampling_reduces_sandbox_load():
+    ctl = PartitionController(
+        capacities=(0, 128 * KB, 256 * KB),
+        epoch_accesses=1000,
+        sample_shift=4,
+    )
+    drive(ctl, list(range(16_000)))
+    sampled = ctl.sandbox_small.accesses
+    assert 0 < sampled < 16_000
+    assert sampled == pytest.approx(1000, rel=0.5)  # ~1/16

@@ -1,0 +1,54 @@
+"""Public-API hygiene: exports resolve, top level works, docs exist."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.core",
+    "repro.experiments",
+    "repro.memory",
+    "repro.prefetchers",
+    "repro.replacement",
+    "repro.sim",
+    "repro.sim.queued",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_packages_are_documented(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+def test_top_level_quickstart_surface():
+    import repro
+
+    assert callable(repro.simulate)
+    assert callable(repro.simulate_multicore)
+    assert repro.TriageConfig is not None
+    assert repro.MachineConfig is not None
+    assert repro.__version__
+
+
+def test_top_level_round_trip():
+    from repro import MachineConfig, TriageConfig, simulate
+    from repro.workloads import spec
+
+    trace = spec.make_trace("mcf", n_accesses=3_000, seed=1, scale=16)
+    machine = MachineConfig.scaled(16)
+    config = TriageConfig(
+        metadata_capacity=16 * 1024, capacities=(0, 8 * 1024, 16 * 1024)
+    )
+    result = simulate(trace, config, machine=machine)
+    assert result.cycles > 0

@@ -1,0 +1,71 @@
+"""Tests for the Sandbox prefetcher and the sweep utility."""
+
+from repro.prefetchers.sandbox import SandboxPrefetcher, _BloomFilter
+from repro.sim.sweep import records_to_csv, sweep
+
+
+def feed(pf, lines):
+    return [[c.line for c in pf.observe(0, line)] for line in lines]
+
+
+def test_bloom_filter_membership():
+    bloom = _BloomFilter()
+    bloom.add(1234)
+    assert 1234 in bloom
+    assert 99999 not in bloom
+    bloom.clear()
+    assert 1234 not in bloom
+
+
+def test_sandbox_accepts_winning_offset():
+    pf = SandboxPrefetcher(degree=2, offsets=[1])
+    feed(pf, list(range(3 * pf.PERIOD)))
+    assert 1 in pf.live_scores
+    candidates = feed(pf, [5000])[-1]
+    assert 5001 in candidates
+
+
+def test_sandbox_rejects_useless_offset():
+    import random
+
+    rnd = random.Random(5)
+    pf = SandboxPrefetcher(degree=2, offsets=[7])
+    feed(pf, [rnd.randrange(1 << 40) for _ in range(3 * pf.PERIOD)])
+    assert 7 not in pf.live_scores
+    assert feed(pf, [rnd.randrange(1 << 40)])[-1] == []
+
+
+def test_sandbox_degree_budget_respected():
+    pf = SandboxPrefetcher(degree=3, offsets=[1, 2])
+    feed(pf, list(range(6 * pf.PERIOD)))
+    for result in feed(pf, list(range(10_000, 10_050))):
+        assert len(result) <= 3
+
+
+def test_sweep_produces_grid():
+    records = sweep(
+        benchmarks=["mcf", "libquantum"],
+        prefetchers={"bo": "bo", "none2": None},
+        n_accesses=6_000,
+        scale=16,
+    )
+    assert len(records) == 4
+    keys = {(r.workload, r.config) for r in records}
+    assert ("mcf", "bo") in keys
+    none_records = [r for r in records if r.config == "none2"]
+    for record in none_records:
+        assert record.speedup == 1.0  # identical to its own baseline
+
+
+def test_sweep_csv():
+    records = sweep(
+        benchmarks=["mcf"],
+        prefetchers={"bo": "bo"},
+        n_accesses=4_000,
+        scale=16,
+    )
+    csv_text = records_to_csv(records)
+    lines = csv_text.strip().splitlines()
+    assert lines[0].startswith("workload,config,speedup")
+    assert len(lines) == 2
+    assert records_to_csv([]) == ""

@@ -1,0 +1,133 @@
+"""Integration tests for the single-core simulator."""
+
+import pytest
+
+from repro.core.triage import TriageConfig, TriagePrefetcher
+from repro.sim.config import MachineConfig
+from repro.sim.single_core import simulate, triage_components
+from repro.prefetchers.hybrid import HybridPrefetcher
+from repro.prefetchers.best_offset import BestOffsetPrefetcher
+from repro.workloads.base import Trace
+from repro.workloads.irregular import chain_trace
+from repro.workloads.regular import stream_trace
+
+KB = 1024
+MACHINE = MachineConfig.scaled(16)  # tiny machine: LLC 128KB, L2 32KB
+
+
+def small_chain_trace(n=30_000, seed=1):
+    return chain_trace(
+        "chain", n, seed,
+        hot_lines=4_000, cold_lines=4_000, hot_fraction=0.8,
+        noise=0.0, sequential_frac=0.0,
+    )
+
+
+def triage_cfg(**kw):
+    defaults = dict(metadata_capacity=32 * KB, capacities=(0, 16 * KB, 32 * KB),
+                    epoch_accesses=2000)
+    defaults.update(kw)
+    return TriageConfig(**defaults)
+
+
+def test_baseline_counts_are_consistent():
+    trace = small_chain_trace()
+    result = simulate(trace, None, machine=MACHINE)
+    c = result.counters
+    assert c.accesses == len(trace)
+    assert c.accesses == c.l1_hits + c.l2_hits + c.llc_hits + c.dram_accesses
+    assert result.cycles > 0
+    assert result.prefetcher == "none"
+
+
+def test_triage_speeds_up_temporal_workload():
+    trace = small_chain_trace()
+    base = simulate(trace, None, machine=MACHINE)
+    triage = simulate(trace, triage_cfg(), machine=MACHINE)
+    assert triage.speedup_over(base) > 1.05
+    assert triage.coverage > 0.2
+    assert triage.useful_prefetches > 0
+
+
+def test_triage_charges_llc_capacity():
+    trace = small_chain_trace()
+    charged = simulate(trace, triage_cfg(), machine=MACHINE)
+    free = simulate(
+        trace, triage_cfg(), machine=MACHINE, charge_metadata_to_llc=False
+    )
+    # The free store never does worse: same coverage, no capacity loss.
+    assert free.cycles <= charged.cycles * 1.02
+
+
+def test_bo_covers_stream_workload():
+    trace = stream_trace("s", 20_000, seed=1, n_streams=2)
+    from dataclasses import replace
+
+    machine = replace(MACHINE, l1_prefetcher="none")
+    base = simulate(trace, None, machine=machine)
+    bo = simulate(trace, "bo", machine=machine)
+    assert bo.coverage > 0.8
+    assert bo.speedup_over(base) > 1.0
+
+
+def test_l1_stride_prefetcher_covers_stream_in_baseline():
+    trace = stream_trace("s", 20_000, seed=1, n_streams=2)
+    with_stride = simulate(trace, None, machine=MACHINE)
+    from dataclasses import replace
+
+    without = simulate(trace, None, machine=replace(MACHINE, l1_prefetcher="none"))
+    assert with_stride.cycles < without.cycles
+    assert with_stride.counters.l1pf_useful > 0
+
+
+def test_warmup_excludes_early_stats():
+    trace = small_chain_trace()
+    full = simulate(trace, None, machine=MACHINE)
+    warmed = simulate(trace, None, machine=MACHINE, warmup_accesses=10_000)
+    assert warmed.counters.accesses == len(trace) - 10_000
+    assert warmed.instructions < full.instructions
+    # Warm caches: the measured region has a lower miss fraction.
+    warm_rate = warmed.counters.dram_accesses / warmed.counters.accesses
+    cold_rate = full.counters.dram_accesses / full.counters.accesses
+    assert warm_rate <= cold_rate + 0.01
+
+
+def test_multicore_config_rejected():
+    trace = small_chain_trace(n=1000)
+    with pytest.raises(ValueError):
+        simulate(trace, None, machine=MachineConfig.multi_core(2))
+
+
+def test_triage_components_finds_nested():
+    triage = TriagePrefetcher(triage_cfg())
+    hybrid = HybridPrefetcher([BestOffsetPrefetcher(), triage])
+    assert triage_components(hybrid) == [triage]
+    assert triage_components(None) == []
+    assert triage_components(BestOffsetPrefetcher()) == []
+
+
+def test_dynamic_partition_resizes_llc():
+    # A stream workload should drive the dynamic allocation to zero,
+    # restoring all LLC ways to data.
+    trace = stream_trace("s", 30_000, seed=1, n_streams=2)
+    pf = TriagePrefetcher(
+        triage_cfg(metadata_capacity=None, dynamic=True,
+                   partition_warmup_epochs=0, partition_start=2)
+    )
+    result = simulate(trace, pf, machine=MACHINE)
+    assert result.final_metadata_capacity == 0
+    assert result.partition_history[-1] == 0
+
+
+def test_deterministic_simulation():
+    trace = small_chain_trace(n=10_000)
+    a = simulate(trace, triage_cfg(), machine=MACHINE)
+    b = simulate(trace, triage_cfg(), machine=MACHINE)
+    assert a.cycles == b.cycles
+    assert a.counters == b.counters
+
+
+def test_oversized_metadata_store_rejected():
+    trace = small_chain_trace(n=1000)
+    with pytest.raises(ValueError):
+        simulate(trace, "triage_1mb", machine=MACHINE)  # 1MB > tiny LLC

@@ -1,0 +1,86 @@
+"""Unit tests for Spatial Memory Streaming."""
+
+import pytest
+
+from repro.prefetchers.sms import SmsPrefetcher
+
+
+def region_lines(pf):
+    return pf.region_lines
+
+
+def test_rejects_bad_region_size():
+    with pytest.raises(ValueError):
+        SmsPrefetcher(region_size=100)
+
+
+def test_footprint_learned_and_replayed_relative_to_trigger():
+    pf = SmsPrefetcher(accumulation_entries=1)
+    pc = 0x4
+    rl = region_lines(pf)
+    # Region 0: trigger offset 3, footprint {3, 5, 9}.
+    pf.observe(pc, 3)
+    pf.observe(pc, 5)
+    pf.observe(pc, 9)
+    # Promote another region into the 1-entry accumulation table to
+    # evict region 0's footprint into the PHT, then trigger region 2.
+    pf.observe(pc, 1 * rl + 3)
+    pf.observe(pc, 1 * rl + 4)
+    candidates = pf.observe(pc, 2 * rl + 3)
+    lines = sorted(c.line for c in candidates)
+    assert lines == [2 * rl + 5, 2 * rl + 9]
+
+
+def test_pattern_rotates_with_trigger_offset():
+    pf = SmsPrefetcher(accumulation_entries=1)
+    pc = 0x8
+    rl = region_lines(pf)
+    pf.observe(pc, 0)
+    pf.observe(pc, 2)
+    pf.observe(pc, 1 * rl)  # second region...
+    pf.observe(pc, 1 * rl + 1)  # ...promoted: region 0 evicted to PHT
+    # New region triggered at offset 0 -> relative pattern {+2} replayed.
+    candidates = pf.observe(pc, 5 * rl)
+    assert [c.line for c in candidates] == [5 * rl + 2]
+
+
+def test_single_access_regions_store_nothing():
+    pf = SmsPrefetcher(accumulation_entries=1, filter_entries=1)
+    pc = 0xC
+    rl = region_lines(pf)
+    for region in range(10):
+        pf.observe(pc, region * rl + 1)
+    # Every region saw one access: the filter churns, the PHT stays empty.
+    assert len(pf._pht) == 0
+
+
+def test_flush_training_commits_accumulation():
+    pf = SmsPrefetcher()
+    pc = 0x10
+    pf.observe(pc, 4)
+    pf.observe(pc, 6)
+    assert len(pf._pht) == 0
+    pf.flush_training()
+    assert len(pf._pht) == 1
+
+
+def test_different_signatures_do_not_cross_predict():
+    pf = SmsPrefetcher(accumulation_entries=1)
+    rl = region_lines(pf)
+    pf.observe(0xA, 0)
+    pf.observe(0xA, 7)
+    pf.observe(0xA, rl)  # commit signature (0xA, 0)
+    # Different PC triggering a fresh region: no prediction.
+    assert pf.observe(0xB, 3 * rl) == []
+
+
+def test_pht_capacity_lru():
+    pf = SmsPrefetcher(accumulation_entries=1, pht_entries=1)
+    rl = region_lines(pf)
+    pf.observe(0xA, 0)
+    pf.observe(0xA, 1)
+    pf.observe(0xB, rl + 0)
+    pf.observe(0xB, rl + 2)
+    pf.observe(0xC, 5 * rl)  # evictions push both footprints through PHT
+    pf.flush_training()
+    assert len(pf._pht) <= 1

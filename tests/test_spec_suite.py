@@ -1,0 +1,75 @@
+"""Tests for the named SPEC/CloudSuite workload registries."""
+
+import pytest
+
+from repro.workloads import cloudsuite, mixes, spec
+
+
+def test_all_benchmarks_build():
+    for name in spec.benchmark_names():
+        trace = spec.make_trace(name, n_accesses=2000, seed=1, scale=16)
+        assert len(trace) == 2000, name
+        assert trace.mlp >= 1.0
+
+
+def test_irregular_and_regular_lists_are_registered():
+    names = set(spec.benchmark_names())
+    assert set(spec.IRREGULAR_SPEC) <= names
+    assert set(spec.REGULAR_SPEC) <= names
+    assert set(spec.MEMORY_BOUND) <= names
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(ValueError):
+        spec.make_trace("quake3")
+
+
+def test_scale_shrinks_working_set():
+    big = spec.make_trace("mcf", n_accesses=20_000, seed=1, scale=1)
+    small = spec.make_trace("mcf", n_accesses=20_000, seed=1, scale=16)
+    assert len(set(small.addrs)) < len(set(big.addrs))
+
+
+def test_irregular_category_tagged():
+    trace = spec.make_trace("mcf", n_accesses=1000, scale=16)
+    assert trace.category == "irregular"
+    trace = spec.make_trace("libquantum", n_accesses=1000, scale=16)
+    assert trace.category == "regular"
+
+
+def test_cloudsuite_benchmarks_build():
+    for name in cloudsuite.CLOUDSUITE:
+        trace = cloudsuite.make_trace(name, n_accesses=2000, seed=1, scale=16)
+        assert len(trace) == 2000
+        assert trace.category == "server"
+
+
+def test_cloudsuite_unknown_rejected():
+    with pytest.raises(ValueError):
+        cloudsuite.make_trace("memcached")
+
+
+def test_mix_names_deterministic():
+    a = mixes.mix_names(4, seed=7)
+    b = mixes.mix_names(4, seed=7)
+    assert a == b
+    assert len(a) == 4
+
+
+def test_irregular_only_mixes_draw_from_irregular_pool():
+    names = mixes.mix_names(16, seed=3, irregular_only=True)
+    assert set(names) <= set(spec.IRREGULAR_SPEC)
+
+
+def test_make_mix_builds_disjoint_arenas():
+    traces = mixes.make_mix(2, seed=5, n_accesses_per_core=2000, scale=16,
+                            names=["mcf", "mcf"])
+    # Same benchmark on two cores: address spaces must not overlap.
+    a = {addr >> 6 for addr in traces[0].addrs}
+    b = {addr >> 6 for addr in traces[1].addrs}
+    assert not (a & b)
+
+
+def test_make_mix_validates_names():
+    with pytest.raises(ValueError):
+        mixes.make_mix(2, seed=1, names=["mcf"])

@@ -1,0 +1,59 @@
+"""Unit tests for the PC-stride prefetcher."""
+
+from repro.prefetchers.stride import StridePrefetcher
+
+
+def feed(pf, pc, lines):
+    out = []
+    for line in lines:
+        out.append([c.line for c in pf.observe(pc, line)])
+    return out
+
+
+def test_learns_constant_stride():
+    pf = StridePrefetcher(degree=1)
+    results = feed(pf, 0x400, [10, 12, 14, 16, 18])
+    # After confidence builds, it prefetches line + stride.
+    assert results[-1] == [20]
+
+
+def test_no_prefetch_before_confidence():
+    pf = StridePrefetcher(degree=1)
+    results = feed(pf, 0x400, [10, 12])
+    assert results == [[], []]
+
+
+def test_stride_change_resets():
+    pf = StridePrefetcher(degree=1)
+    feed(pf, 0x400, [10, 12, 14, 16])
+    results = feed(pf, 0x400, [30, 33, 36, 39])
+    assert results[-1] == [42]
+
+
+def test_degree_extends_prefetch_run():
+    pf = StridePrefetcher(degree=3)
+    results = feed(pf, 0x400, [10, 12, 14, 16])
+    assert results[-1] == [18, 20, 22]
+
+
+def test_distinct_pcs_tracked_independently():
+    pf = StridePrefetcher(degree=1)
+    feed(pf, 0xA, [100, 101, 102, 103])
+    feed(pf, 0xB, [500, 510, 520, 530])
+    assert feed(pf, 0xA, [104])[-1] == [105]
+    assert feed(pf, 0xB, [540])[-1] == [550]
+
+
+def test_zero_stride_ignored():
+    pf = StridePrefetcher(degree=1)
+    results = feed(pf, 0x400, [10, 10, 10, 10])
+    assert all(r == [] for r in results)
+
+
+def test_table_capacity_lru():
+    pf = StridePrefetcher(degree=1, table_size=2)
+    feed(pf, 0xA, [10, 12, 14, 16])
+    feed(pf, 0xB, [100, 101])
+    feed(pf, 0xC, [200, 202])  # evicts 0xA
+    # 0xA must relearn from scratch.
+    assert feed(pf, 0xA, [18])[-1] == []

@@ -1,0 +1,76 @@
+"""Tests for the analytic timing model."""
+
+import pytest
+
+from repro.memory.dram import DramModel
+from repro.sim.config import MachineConfig
+from repro.sim.timing import EpochLoad, core_cycles, resolve_epoch
+
+
+CONFIG = MachineConfig()
+DRAM = DramModel()
+
+
+def load(instr=1000, l2=0, llc=0, dram=0, mlp=1.0):
+    return EpochLoad(
+        instructions=instr, l2_hits=l2, llc_hits=llc, dram_accesses=dram, mlp=mlp
+    )
+
+
+def test_cpu_only_epoch():
+    cycles = core_cycles(load(instr=1000), CONFIG, 170.0)
+    assert cycles == pytest.approx(1000 * CONFIG.base_cpi)
+
+
+def test_memory_stalls_add_up():
+    l = load(l2=10, llc=5, dram=2)
+    cycles = core_cycles(l, CONFIG, 170.0)
+    expected = 1000 * 0.25 + (10 * 11 + 5 * 20 + 2 * 170)
+    assert cycles == pytest.approx(expected)
+
+
+def test_mlp_divides_stalls():
+    serial = core_cycles(load(dram=10, mlp=1.0), CONFIG, 170.0)
+    parallel = core_cycles(load(dram=10, mlp=2.0), CONFIG, 170.0)
+    assert parallel < serial
+    assert (serial - 250) == pytest.approx(2 * (parallel - 250))
+
+
+def test_extra_llc_latency_applies():
+    from dataclasses import replace
+
+    slow = replace(CONFIG, extra_llc_latency=6)
+    a = core_cycles(load(llc=100), CONFIG, 170.0)
+    b = core_cycles(load(llc=100), slow, 170.0)
+    assert b - a == pytest.approx(600)
+
+
+def test_resolve_epoch_low_traffic_uses_base_latency():
+    cycles = resolve_epoch([load(dram=10)], epoch_bytes=640, config=CONFIG, dram=DRAM)
+    expected = core_cycles(load(dram=10), CONFIG, 170.0)
+    assert cycles[0] == pytest.approx(expected, rel=0.01)
+
+
+def test_resolve_epoch_inflates_under_pressure():
+    light = resolve_epoch([load(dram=100)], 100 * 64, CONFIG, DRAM)[0]
+    # Same work, but with enormous co-running traffic on the bus.
+    heavy = resolve_epoch([load(dram=100)], 100 * 64 * 200, CONFIG, DRAM)[0]
+    assert heavy > light
+
+
+def test_bandwidth_wall_floors_cycles():
+    """Even a fully-covered epoch cannot beat bytes / bandwidth."""
+    bytes_moved = 1_000_000
+    cycles = resolve_epoch([load(instr=10, dram=0)], bytes_moved, CONFIG, DRAM)[0]
+    assert cycles >= bytes_moved / CONFIG.dram_bandwidth_bytes_per_cycle - 1
+
+
+def test_resolve_epoch_multicore_shares_bus():
+    loads = [load(dram=500) for _ in range(8)]
+    together = resolve_epoch(loads, 8 * 500 * 64, CONFIG, DRAM)
+    alone = resolve_epoch([load(dram=500)], 500 * 64, CONFIG, DRAM)
+    assert together[0] > alone[0]  # contention slows everyone
+
+
+def test_resolve_epoch_empty():
+    assert resolve_epoch([], 0, CONFIG, DRAM) == []

@@ -1,0 +1,59 @@
+"""Tests for trace serialization."""
+
+import pytest
+
+from repro.workloads.base import Trace
+from repro.workloads.irregular import chain_trace
+from repro.workloads.traceio import load_trace, save_trace
+
+
+def test_round_trip(tmp_path):
+    trace = chain_trace("rt", 5_000, seed=9, hot_lines=500, cold_lines=500)
+    path = tmp_path / "t.rpt"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.name == trace.name
+    assert loaded.addrs == trace.addrs
+    assert loaded.pcs == trace.pcs
+    assert loaded.writes == trace.writes
+    assert loaded.mlp == trace.mlp
+    assert loaded.category == trace.category
+
+
+def test_metadata_preserved(tmp_path):
+    trace = Trace("m", [1], [64], [True], metadata={"pattern": "x"})
+    path = tmp_path / "m.rpt"
+    save_trace(trace, path)
+    assert load_trace(path).metadata == {"pattern": "x"}
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "junk.rpt"
+    path.write_bytes(b"NOPE" + b"\x00" * 100)
+    with pytest.raises(ValueError, match="magic"):
+        load_trace(path)
+
+
+def test_truncated_body_rejected(tmp_path):
+    trace = Trace("t", [1, 2], [64, 128], [False, False])
+    path = tmp_path / "t.rpt"
+    save_trace(trace, path)
+    data = path.read_bytes()
+    path.write_bytes(data[:-10])
+    with pytest.raises(ValueError, match="truncated"):
+        load_trace(path)
+
+
+def test_loaded_trace_simulates_identically(tmp_path):
+    from repro.sim.config import MachineConfig
+    from repro.sim.single_core import simulate
+
+    trace = chain_trace("sim", 4_000, seed=2, hot_lines=300, cold_lines=300)
+    path = tmp_path / "sim.rpt"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    machine = MachineConfig.scaled(16)
+    a = simulate(trace, None, machine=machine)
+    b = simulate(loaded, None, machine=machine)
+    assert a.cycles == b.cycles
+    assert a.counters == b.counters

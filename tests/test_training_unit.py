@@ -1,0 +1,57 @@
+"""Unit tests for Triage's training unit."""
+
+import pytest
+
+from repro.core.training_unit import TrainingUnit
+
+
+def test_first_observation_returns_none():
+    tu = TrainingUnit()
+    assert tu.observe(0xA, 100) is None
+
+
+def test_returns_previous_line_per_pc():
+    tu = TrainingUnit()
+    tu.observe(0xA, 100)
+    assert tu.observe(0xA, 200) == 100
+    assert tu.observe(0xA, 300) == 200
+
+
+def test_pcs_are_independent():
+    tu = TrainingUnit()
+    tu.observe(0xA, 1)
+    tu.observe(0xB, 2)
+    assert tu.observe(0xA, 3) == 1
+    assert tu.observe(0xB, 4) == 2
+
+
+def test_capacity_evicts_lru_pc():
+    tu = TrainingUnit(max_pcs=2)
+    tu.observe(0xA, 1)
+    tu.observe(0xB, 2)
+    tu.observe(0xC, 3)  # evicts 0xA
+    assert len(tu) == 2
+    assert tu.observe(0xA, 9) is None
+
+
+def test_recent_use_protects_from_eviction():
+    tu = TrainingUnit(max_pcs=2)
+    tu.observe(0xA, 1)
+    tu.observe(0xB, 2)
+    tu.observe(0xA, 3)  # refresh 0xA
+    tu.observe(0xC, 4)  # evicts 0xB
+    assert tu.observe(0xA, 5) == 3
+    assert tu.observe(0xB, 6) is None
+
+
+def test_peek_has_no_side_effects():
+    tu = TrainingUnit()
+    tu.observe(0xA, 1)
+    assert tu.peek(0xA) == 1
+    assert tu.peek(0xB) is None
+    assert tu.observe(0xA, 2) == 1
+
+
+def test_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        TrainingUnit(max_pcs=0)

@@ -1,0 +1,90 @@
+"""Unit tests for the utility-aware partition controller (extension)."""
+
+import pytest
+
+from repro.core.triage import TriageConfig, TriagePrefetcher
+from repro.core.utility_partition import UtilityPartitionController
+
+KB = 1024
+
+
+def controller(**kw):
+    defaults = dict(
+        capacities=(0, 2 * KB, 4 * KB),
+        llc_data_bytes=64 * KB,
+        epoch_accesses=800,
+        sample_shift=0,
+        warmup_epochs=0,
+        start_index=1,
+    )
+    defaults.update(kw)
+    return UtilityPartitionController(**defaults)
+
+
+def drive(ctl, meta_keys, data_keys=()):
+    data = list(data_keys)
+    decisions = []
+    for i, key in enumerate(meta_keys):
+        if data:
+            ctl.note_data_access(data[i % len(data)])
+        decision = ctl.note_access(key)
+        if decision is not None:
+            decisions.append(decision)
+    return decisions
+
+
+def test_validates_capacities():
+    with pytest.raises(ValueError):
+        UtilityPartitionController(capacities=(0, 2, 1))
+    with pytest.raises(ValueError):
+        UtilityPartitionController(
+            capacities=(0, 1 * KB, 64 * KB), llc_data_bytes=64 * KB
+        )
+
+
+def test_no_metadata_reuse_gives_store_back():
+    ctl = controller()
+    drive(ctl, meta_keys=range(4000))
+    assert ctl.capacity_bytes == 0
+
+
+def test_metadata_reuse_with_idle_data_grows():
+    ctl = controller()
+    # Hot metadata (cycling triggers), data side sees only fresh lines:
+    # shrinking data costs nothing, prefetching gains a lot.
+    meta = [i % 700 for i in range(6000)]
+    data = range(10**6, 10**6 + 6000)
+    drive(ctl, meta, data)
+    assert ctl.capacity_bytes == 4 * KB
+
+
+def test_valuable_data_blocks_metadata_growth():
+    ctl = controller(usefulness=0.5)
+    # Weak metadata reuse, but the data side's working set exactly fits
+    # the full LLC and thrashes at reduced capacity.
+    full_lines = ctl.data_sandboxes[0].capacity
+    data = [i % full_lines for i in range(6000)]
+    meta = list(range(6000))  # no metadata reuse at all
+    drive(ctl, meta, data)
+    assert ctl.capacity_bytes == 0
+
+
+def test_triage_integration():
+    config = TriageConfig(
+        dynamic=True,
+        partition_policy="utility",
+        capacities=(0, 2 * KB, 4 * KB),
+        llc_data_bytes=64 * KB,
+        epoch_accesses=500,
+        partition_warmup_epochs=0,
+    )
+    pf = TriagePrefetcher(config)
+    assert isinstance(pf.controller, UtilityPartitionController)
+    for line in range(3000):  # compulsory stream
+        pf.observe(0xA, line)
+    assert pf.metadata_capacity_bytes == 0
+
+
+def test_unknown_partition_policy_rejected():
+    with pytest.raises(ValueError):
+        TriagePrefetcher(TriageConfig(dynamic=True, partition_policy="magic"))
