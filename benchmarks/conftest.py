@@ -10,6 +10,7 @@ and trace lengths (used by CI-style smoke runs).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -17,12 +18,27 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
 def record_table(name: str, table) -> None:
-    """Print a regenerated table and persist it under results/."""
+    """Print a regenerated table and persist it under results/.
+
+    Alongside the table, the run manifests logged by the simulators since
+    the previous ``record_table`` call are written to
+    ``results/<bench>.manifest.json`` so every bench trajectory captures
+    config + seed provenance (see :mod:`repro.obs.manifest`).
+    """
     text = str(table)
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    from repro.obs.manifest import drain_run_log
+
+    manifests = drain_run_log()
+    if manifests:
+        payload = [m.to_dict() for m in manifests]
+        (RESULTS_DIR / f"{name}.manifest.json").write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
 
 
 def quick() -> bool:

@@ -5,6 +5,12 @@ Subcommands:
 * ``python -m repro list``                 -- list experiments
 * ``python -m repro run fig05 [--quick]``  -- regenerate one figure
 * ``python -m repro run all  [--quick]``   -- regenerate everything
+* ``python -m repro run fig15 --obs [--obs-out DIR]``
+                                           -- regenerate with observability
+                                              (epoch time-series, trace
+                                              events, manifests under DIR)
+* ``python -m repro report DIR``           -- render a flushed obs directory
+* ``python -m repro profile fig05``        -- run with wall-time attribution
 """
 
 from __future__ import annotations
@@ -12,6 +18,37 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
+
+
+def _module_summary(module) -> str:
+    """First docstring line, tolerating empty/missing docstrings."""
+    lines = (module.__doc__ or "").strip().splitlines()
+    return lines[0] if lines else ""
+
+
+def _resolve_experiments(name: str):
+    """Experiment modules for ``name`` ('all' fans out), or None + message."""
+    from repro.experiments.registry import EXPERIMENTS
+
+    if name == "all":
+        return list(EXPERIMENTS.items())
+    if name not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        print(
+            f"error: unknown experiment {name!r}; choose from: {known}",
+            file=sys.stderr,
+        )
+        return None
+    return [(name, EXPERIMENTS[name])]
+
+
+def _run_experiments(names_and_modules, quick: bool) -> None:
+    for name, module in names_and_modules:
+        start = time.time()
+        table = module.run(quick=quick)
+        print(table)
+        print(f"[{name} took {time.time() - start:.1f}s]\n")
 
 
 def main(argv=None) -> int:
@@ -22,29 +59,94 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+
     run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment name, e.g. fig05")
     run_parser.add_argument(
         "--quick", action="store_true",
         help="reduced benchmark subsets and trace lengths",
     )
+    run_parser.add_argument(
+        "--obs", action="store_true",
+        help="enable observability (epoch time-series, trace events, "
+        "manifests); writes to --obs-out",
+    )
+    run_parser.add_argument(
+        "--obs-out", metavar="DIR", default=None,
+        help="output directory for observability artifacts "
+        "(default: results/obs/<experiment>; implies --obs)",
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="render a flushed observability directory as tables"
+    )
+    report_parser.add_argument(
+        "path", help="run directory written by --obs-out (or an epochs.jsonl)"
+    )
+    report_parser.add_argument(
+        "--columns", nargs="*", default=None,
+        help="epoch columns to show (default: way split, hit rates, "
+        "utilization, coverage)",
+    )
+
+    profile_parser = sub.add_parser(
+        "profile", help="run one experiment with wall-time phase attribution"
+    )
+    profile_parser.add_argument("experiment", help="experiment name, e.g. fig05")
+    profile_parser.add_argument("--quick", action="store_true")
+
     args = parser.parse_args(argv)
 
-    from repro.experiments.registry import EXPERIMENTS, get
-
     if args.command == "list":
+        from repro.experiments.registry import EXPERIMENTS
+
         for name, module in EXPERIMENTS.items():
-            summary = (module.__doc__ or "").strip().splitlines()[0]
-            print(f"{name:<14} {summary}")
+            print(f"{name:<14} {_module_summary(module)}")
         return 0
 
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        module = get(name)
-        start = time.time()
-        table = module.run(quick=args.quick)
-        print(table)
-        print(f"[{name} took {time.time() - start:.1f}s]\n")
+    if args.command == "report":
+        from repro.obs.report import render_report
+
+        try:
+            print(render_report(Path(args.path), columns=args.columns))
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    # "run" and "profile" both execute experiments.
+    selected = _resolve_experiments(args.experiment)
+    if selected is None:
+        return 2
+
+    from repro import obs
+
+    if args.command == "profile":
+        session = obs.enable(profile=True)
+        try:
+            _run_experiments(selected, args.quick)
+        finally:
+            obs.disable()
+        print(session.profiler.table())
+        return 0
+
+    session = None
+    if args.obs or args.obs_out:
+        out_dir = Path(args.obs_out) if args.obs_out else (
+            Path("results") / "obs" / args.experiment
+        )
+        session = obs.enable(out_dir=out_dir)
+    try:
+        _run_experiments(selected, args.quick)
+    finally:
+        if session is not None:
+            paths = session.flush()
+            obs.disable()
+            print(
+                "observability artifacts: "
+                + ", ".join(str(p) for p in sorted(paths.values()))
+            )
+            print(f"render with: python -m repro report {session.out_dir}")
     return 0
 
 

@@ -65,6 +65,9 @@ class MetadataStore:
         self.policy_name = policy
         self.use_compressed_tags = use_compressed_tags
         self.tag_bits = tag_bits
+        #: Optional observability sink (``.emit(category, severity, **f)``),
+        #: attached by the simulation engine when tracing is enabled.
+        self.events = None
         self._predictor = HawkeyePredictor()  # persists across resizes
         self.tag_table = CompressedTagTable(tag_bits) if use_compressed_tags else None
         self.track_reuse = track_reuse
@@ -123,6 +126,14 @@ class MetadataStore:
             for entry in ways
             if entry is not None
         ]
+        if self.events is not None:
+            self.events.emit(
+                "meta_store.resize",
+                "info",
+                old_bytes=self.capacity_bytes,
+                new_bytes=capacity_bytes,
+                survivors=len(old_entries),
+            )
         self.capacity_bytes = capacity_bytes
         self.num_sets = _floor_pow2(capacity_bytes // (ENTRY_BYTES * ENTRIES_PER_LINE))
         self._ways = [[None] * ENTRIES_PER_LINE for _ in range(self.num_sets)]
@@ -287,6 +298,14 @@ class MetadataStore:
             del index[victim.trigger]
             self._policy.on_evict(set_idx, way)
             self.evictions += 1
+            if self.events is not None:
+                self.events.emit(
+                    "meta_store.evict",
+                    "debug",
+                    set=set_idx,
+                    way=way,
+                    trigger=victim.trigger,
+                )
         ways[way] = entry
         index[entry.trigger] = way
         if self._policy is not None:

@@ -20,6 +20,7 @@ paper Section 4.3).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
@@ -129,6 +130,11 @@ class TriagePrefetcher(BasePrefetcher):
         #: to resize the LLC's data ways.
         self.on_partition_change = on_partition_change
         self._pending_capacity: Optional[int] = None
+        #: Optional observability sink (``.emit(category, severity, **f)``)
+        #: and phase timer (``.add(name, seconds)``), attached by the
+        #: simulation engine when observability/profiling is on.
+        self.events = None
+        self.profile = None
 
     # -- prefetcher interface -------------------------------------------------
 
@@ -136,6 +142,9 @@ class TriagePrefetcher(BasePrefetcher):
         self, pc: int, line: int, prefetch_hit: bool = False
     ) -> List[PrefetchCandidate]:
         stream_pc = pc if self.config.pc_localized else 0
+        profile = self.profile
+        if profile is not None:
+            profile_start = time.perf_counter()
 
         # The utility controller also watches the data side: this very
         # event *is* an LLC data access (the L2 miss stream).  Its
@@ -173,6 +182,8 @@ class TriagePrefetcher(BasePrefetcher):
                 self._update_unconditionally(prev, line, stream_pc)
 
         self._apply_pending_partition()
+        if profile is not None:
+            profile.add("metadata_store", time.perf_counter() - profile_start)
         return candidates
 
     def feedback(self, candidate: PrefetchCandidate, source: str) -> None:
@@ -198,6 +209,8 @@ class TriagePrefetcher(BasePrefetcher):
         self.store.resize(pending)
         if self.on_partition_change is not None:
             self.on_partition_change(pending)
+        if self.events is not None:
+            self.events.emit("partition.apply", "info", capacity_bytes=pending)
 
     @property
     def metadata_capacity_bytes(self) -> int:

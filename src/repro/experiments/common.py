@@ -213,12 +213,23 @@ _TRACE_CACHE: Dict[Tuple, object] = {}
 _RUN_CACHE: Dict[Tuple, SimulationResult] = {}
 
 
+def _trace_gen_phase():
+    """Scoped ``trace_gen`` profiling phase (no-op without a session)."""
+    from contextlib import nullcontext
+
+    from repro.obs import get_session
+
+    session = get_session()
+    return nullcontext() if session is None else session.phase("trace_gen")
+
+
 def get_trace(bench: str, n: int, seed: int = 1, suite: str = "spec"):
     """Build (and cache) a scaled trace for a named benchmark."""
     key = (suite, bench, n, seed, SCALE)
     if key not in _TRACE_CACHE:
         maker = spec.make_trace if suite == "spec" else cloudsuite.make_trace
-        _TRACE_CACHE[key] = maker(bench, n_accesses=n, seed=seed, scale=SCALE)
+        with _trace_gen_phase():
+            _TRACE_CACHE[key] = maker(bench, n_accesses=n, seed=seed, scale=SCALE)
     return _TRACE_CACHE[key]
 
 
@@ -262,14 +273,15 @@ def run_mix(
 ) -> MultiCoreResult:
     """One multi-core mix run on the multi-core scaled machine."""
     machine = MachineConfig.scaled(MULTI_SCALE, n_cores=n_cores)
-    traces = mixes.make_mix(
-        n_cores,
-        mix_seed,
-        n_accesses_per_core=n_per_core,
-        irregular_only=irregular_only,
-        names=names,
-        scale=MULTI_SCALE,
-    )
+    with _trace_gen_phase():
+        traces = mixes.make_mix(
+            n_cores,
+            mix_seed,
+            n_accesses_per_core=n_per_core,
+            irregular_only=irregular_only,
+            names=names,
+            scale=MULTI_SCALE,
+        )
     # A callable spec builds one fresh prefetcher per core.  Half the run
     # is warmup, as in the paper's multi-core methodology (warm 30 M,
     # measure 30 M).
@@ -391,16 +403,17 @@ def run_cloudsuite_4core(
     if key in _MIX_CACHE:
         return _MIX_CACHE[key]
     machine = MachineConfig.scaled(MULTI_SCALE, n_cores=4)
-    traces = [
-        cloudsuite.make_trace(
-            bench,
-            n_accesses=n_per_core,
-            seed=10 + core,
-            arena=2000 + core * 40,
-            scale=MULTI_SCALE,
-        )
-        for core in range(4)
-    ]
+    with _trace_gen_phase():
+        traces = [
+            cloudsuite.make_trace(
+                bench,
+                n_accesses=n_per_core,
+                seed=10 + core,
+                arena=2000 + core * 40,
+                scale=MULTI_SCALE,
+            )
+            for core in range(4)
+        ]
     result = simulate_multicore(
         traces,
         lambda: make_spec(prefetcher, degree, scale=MULTI_SCALE),

@@ -75,6 +75,36 @@ class DramModel:
         self.base_latency_cycles = base_latency_cycles
         self.bandwidth_bytes_per_cycle = bandwidth_bytes_per_cycle
         self.max_inflation = max_inflation
+        #: Optional per-epoch observability log; the simulation engine
+        #: sets this to a list when sampling is on, and the timing model
+        #: appends one record per resolved epoch (see :meth:`record_epoch`).
+        self.epoch_log = None
+
+    def record_epoch(
+        self,
+        utilization: float,
+        effective_latency: float,
+        nbytes: float,
+        dram_accesses: int,
+    ) -> None:
+        """Log one epoch's bandwidth state (no-op unless observing).
+
+        ``queue_penalty_cycles`` is the latency added beyond the unloaded
+        base across the epoch's DRAM accesses -- the quantity behind the
+        bandwidth-crossover figures (11/12/17).
+        """
+        if self.epoch_log is None:
+            return
+        self.epoch_log.append(
+            {
+                "utilization": utilization,
+                "effective_latency": effective_latency,
+                "bytes": nbytes,
+                "queue_penalty_cycles": (
+                    (effective_latency - self.base_latency_cycles) * dram_accesses
+                ),
+            }
+        )
 
     def utilization(self, bytes_transferred: float, cycles: float) -> float:
         """Fraction of peak bandwidth used over ``cycles`` (clamped to 1)."""

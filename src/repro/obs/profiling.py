@@ -1,0 +1,69 @@
+"""Scoped wall-time attribution to named simulation phases.
+
+``python -m repro profile <exp>`` answers "where does the wall time go"
+without a real profiler's overhead: the engines bracket their phases
+(trace generation, the L2 demand stream, the prefetcher, Triage's
+metadata store) with :meth:`PhaseTimer.phase` or accumulate raw seconds
+via :meth:`PhaseTimer.add`.  When profiling is off the engines skip the
+timing calls entirely, so this module costs nothing by default.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Tuple
+
+
+class PhaseTimer:
+    """Accumulates (seconds, call count) per phase name."""
+
+    def __init__(self):
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Credit ``seconds`` of wall time (over ``calls`` calls) to a phase."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + calls
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager form of :meth:`add`."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def sorted_phases(self) -> List[Tuple[str, float, int]]:
+        """(name, seconds, calls), most expensive first."""
+        return sorted(
+            (
+                (name, secs, self.calls.get(name, 0))
+                for name, secs in self.seconds.items()
+            ),
+            key=lambda item: -item[1],
+        )
+
+    def table(self) -> str:
+        """Aligned text table of phases with their share of total time."""
+        total = self.total_seconds
+        rows = [("phase", "seconds", "share", "calls")]
+        for name, secs, calls in self.sorted_phases():
+            share = secs / total if total else 0.0
+            rows.append((name, f"{secs:.3f}", f"{share:6.1%}", str(calls)))
+        widths = [max(len(r[i]) for r in rows) for i in range(4)]
+        lines = ["== Wall-time by phase =="]
+        for i, row in enumerate(rows):
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+            if i == 0:
+                lines.append("-" * (sum(widths) + 6))
+        lines.append(f"total: {total:.3f}s")
+        return "\n".join(lines)

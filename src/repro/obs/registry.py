@@ -1,0 +1,211 @@
+"""Hierarchical metrics registry: counters, gauges, log2 histograms.
+
+Metrics are addressed by dotted lowercase names mirroring the component
+hierarchy (``triage.meta_store.evictions``, ``dram.queue_penalty_cycles``)
+so that dumps sort into a readable tree.  A disabled registry hands out
+shared null instruments whose mutators are no-ops and which are **not**
+stored, so instrumented components cost one attribute call and the
+registry's dump stays empty.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional, Union
+
+#: Dotted names: lowercase segments of [a-z0-9_], joined by single dots.
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+#: Histogram geometry: bucket ``i`` counts values with ``bit_length == i``
+#: (i.e. ``2**(i-1) <= v < 2**i``); bucket 0 counts zeros.  33 buckets
+#: cover every value below 2**32.
+DEFAULT_BUCKETS = 33
+
+
+class Counter:
+    """Monotonic integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def dump(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def dump(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed log2-bucketed histogram for non-negative values.
+
+    Bucket ``i`` holds observations whose integer part has
+    ``bit_length() == i`` (bucket 0 holds zeros); the upper bound of
+    bucket ``i`` is therefore ``2**i - 1``.  The last bucket absorbs
+    overflow.
+    """
+
+    __slots__ = ("name", "counts", "total", "sum")
+
+    def __init__(self, name: str, buckets: int = DEFAULT_BUCKETS):
+        self.name = name
+        self.counts = [0] * buckets
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name!r} observed negative {value}")
+        idx = min(int(value).bit_length(), len(self.counts) - 1)
+        self.counts[idx] += 1
+        self.total += 1
+        self.sum += value
+
+    def bucket_upper_bound(self, index: int) -> int:
+        return (1 << index) - 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def reset(self) -> None:
+        self.counts = [0] * len(self.counts)
+        self.total = 0
+        self.sum = 0.0
+
+    def dump(self) -> Dict[str, object]:
+        nonzero = {
+            str(self.bucket_upper_bound(i)): c
+            for i, c in enumerate(self.counts)
+            if c
+        }
+        return {"count": self.total, "sum": self.sum, "buckets": nonzero}
+
+
+class _NullInstrument:
+    """Shared no-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def dump(self) -> int:
+        return 0
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+Metric = Union[Counter, Gauge, Histogram, _NullInstrument]
+
+
+class MetricsRegistry:
+    """Name -> instrument map with type-checked, validated registration.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the existing instrument afterwards; asking for an existing name with
+    a different type is an error (it would silently fork the metric).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def _get_or_create(self, name: str, cls, *args) -> Metric:
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"bad metric name {name!r}: want dotted lowercase segments"
+            )
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}"
+                )
+            return existing
+        metric = cls(name, *args)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, buckets: int = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(name, Histogram, buckets)
+
+    # -- inspection ------------------------------------------------------
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Sorted metric names, optionally under a dotted ``prefix``."""
+        names = sorted(self._metrics)
+        if prefix:
+            names = [
+                n for n in names if n == prefix or n.startswith(prefix + ".")
+            ]
+        return names
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat ``{name: value-or-histogram-dump}`` snapshot."""
+        return {name: self._metrics[name].dump() for name in self.names()}
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=1, sort_keys=True)
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations survive)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every registration."""
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)

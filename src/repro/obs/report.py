@@ -1,0 +1,166 @@
+"""Render a flushed observability directory back into readable tables.
+
+``python -m repro report <dir>`` points here.  A run directory is what
+:meth:`repro.obs.ObsSession.flush` wrote: ``manifests.jsonl``,
+``epochs.jsonl`` (+ ``.csv``), ``events.jsonl``, ``metrics.json`` and
+optionally ``profile.txt``.  A bare ``*.jsonl`` file is also accepted
+and treated as an epoch time-series.
+
+The epoch table is the diagnosis tool for diverging figures: it shows,
+per run and per epoch, the per-core metadata way split, store hit rate,
+DRAM utilization and coverage -- the internal trajectory behind the
+end-of-run aggregate (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: Epoch columns promoted to the front of the table when present.
+_LEAD_COLUMNS = ("run", "epoch")
+#: Epoch columns rendered by default (suffix match on flattened names).
+_DEFAULT_SUFFIXES = (
+    "meta_ways",
+    "llc_data_ways",
+    "meta_capacity_bytes",
+    "meta_hit_rate",
+    "dram_utilization",
+    "coverage",
+)
+
+
+def _read_jsonl(path: Path) -> List[Dict[str, object]]:
+    rows = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+def load_run_dir(path) -> Dict[str, object]:
+    """Load whatever observability artifacts exist under ``path``."""
+    path = Path(path)
+    if path.is_file():
+        return {"manifests": [], "epochs": _read_jsonl(path), "events": [], "metrics": {}}
+    if not path.is_dir():
+        raise FileNotFoundError(f"no such run directory: {path}")
+    out: Dict[str, object] = {"manifests": [], "epochs": [], "events": [], "metrics": {}}
+    manifests = path / "manifests.jsonl"
+    if manifests.exists():
+        out["manifests"] = _read_jsonl(manifests)
+    epochs = path / "epochs.jsonl"
+    if epochs.exists():
+        out["epochs"] = _read_jsonl(epochs)
+    events = path / "events.jsonl"
+    if events.exists():
+        out["events"] = _read_jsonl(events)
+    metrics = path / "metrics.json"
+    if metrics.exists():
+        out["metrics"] = json.loads(metrics.read_text())
+    profile = path / "profile.txt"
+    if profile.exists():
+        out["profile"] = profile.read_text().rstrip("\n")
+    return out
+
+
+def _format_table(headers: Sequence[str], rows: List[List[object]], title: str) -> str:
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        if cell is None:
+            return "-"
+        return str(cell)
+
+    table = [list(headers)] + [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = [f"== {title} =="]
+    for i, row in enumerate(table):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def _epoch_columns(rows: List[Dict[str, object]], columns: Optional[Sequence[str]]) -> List[str]:
+    seen: Dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            seen.setdefault(key, None)
+    if columns:
+        picked = [c for c in seen if c in columns]
+    else:
+        picked = [
+            c for c in seen
+            if c not in _LEAD_COLUMNS and c.endswith(tuple(_DEFAULT_SUFFIXES))
+        ]
+        if not picked:  # fall back to everything this sampler recorded
+            picked = [c for c in seen if c not in _LEAD_COLUMNS]
+    lead = [c for c in _LEAD_COLUMNS if c in seen]
+    return lead + picked
+
+
+def epochs_table(
+    rows: List[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "Epoch time-series",
+) -> str:
+    """The epoch rows as one table (way-split columns by default)."""
+    if not rows:
+        return f"== {title} ==\n(no epoch samples)"
+    headers = _epoch_columns(rows, columns)
+    body = [[row.get(h) for h in headers] for row in rows]
+    return _format_table(headers, body, title)
+
+
+def manifests_table(manifests: List[Dict[str, object]]) -> str:
+    headers = ["kind", "workloads", "prefetcher", "trace_len", "warmup", "seeds", "wall_s"]
+    rows = [
+        [
+            m.get("kind"),
+            ",".join(m.get("workloads", [])),
+            m.get("prefetcher"),
+            m.get("trace_length"),
+            m.get("warmup"),
+            ",".join(str(s) for s in m.get("seeds", [])),
+            m.get("wall_time_s"),
+        ]
+        for m in manifests
+    ]
+    return _format_table(headers, rows, "Run manifests")
+
+
+def events_table(events: List[Dict[str, object]], tail: int = 8) -> str:
+    counts: Dict[str, int] = {}
+    for event in events:
+        key = f"{event.get('category')}/{event.get('severity')}"
+        counts[key] = counts.get(key, 0) + 1
+    rows = [[k, v] for k, v in sorted(counts.items())]
+    out = _format_table(["category/severity", "count"], rows, "Trace events")
+    if events:
+        out += "\nlast events:"
+        for event in events[-tail:]:
+            out += "\n  " + json.dumps(event, sort_keys=True)
+    return out
+
+
+def render_report(path, columns: Optional[Sequence[str]] = None) -> str:
+    """The full textual report for one run directory (or epochs file)."""
+    data = load_run_dir(path)
+    sections = []
+    if data["manifests"]:
+        sections.append(manifests_table(data["manifests"]))
+    sections.append(epochs_table(data["epochs"], columns=columns))
+    if data["events"]:
+        sections.append(events_table(data["events"]))
+    if data["metrics"]:
+        rows = [[name, value] for name, value in sorted(data["metrics"].items())
+                if not isinstance(value, dict)]
+        hist_rows = [[name, json.dumps(value)] for name, value in sorted(data["metrics"].items())
+                     if isinstance(value, dict)]
+        sections.append(_format_table(["metric", "value"], rows + hist_rows, "Metrics"))
+    if "profile" in data:
+        sections.append(data["profile"])
+    return "\n\n".join(sections)

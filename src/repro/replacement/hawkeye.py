@@ -35,6 +35,10 @@ class HawkeyePredictor:
     def __init__(self, table_bits: int = 13):
         self.mask = (1 << table_bits) - 1
         self._counters: Dict[int, int] = {}
+        #: Optional observability sink (``.emit(category, severity, **f)``),
+        #: attached when tracing is on; flips of a PC's prediction between
+        #: cache-friendly and cache-averse are emitted as events.
+        self.events = None
 
     def _index(self, pc: int) -> int:
         return (pc ^ (pc >> 13) ^ (pc >> 26)) & self.mask
@@ -43,11 +47,16 @@ class HawkeyePredictor:
         """Nudge the counter for ``pc`` toward friendly (hit) or averse."""
         idx = self._index(pc)
         value = self._counters.get(idx, self.THRESHOLD)
+        was_friendly = value >= self.THRESHOLD
         if opt_hit:
             value = min(self.COUNTER_MAX, value + 1)
         else:
             value = max(0, value - 1)
         self._counters[idx] = value
+        if self.events is not None and (value >= self.THRESHOLD) != was_friendly:
+            self.events.emit(
+                "hawkeye.flip", "debug", pc=pc, friendly=value >= self.THRESHOLD
+            )
 
     def predict(self, pc: int) -> bool:
         """Return ``True`` when loads by ``pc`` are predicted friendly."""

@@ -14,17 +14,23 @@ latency -- the mechanism behind Figures 11, 12 and 17.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from repro.memory.dram import DramModel
 from repro.memory.hierarchy import CacheHierarchy
+from repro.obs import ObsSession, RunObserver, get_session
+from repro.obs.manifest import build_manifest
 from repro.prefetchers.base import BasePrefetcher
 from repro.prefetchers.hybrid import HybridPrefetcher
 from repro.sim.config import MachineConfig
 from repro.sim.factory import PrefetcherSpec, make_prefetcher
 from repro.sim.single_core import (
     _MetadataPartition,
+    _register_dram_metrics,
+    _register_run_metrics,
+    attach_observability,
     make_l1_prefetcher,
     triage_components,
 )
@@ -42,6 +48,7 @@ def simulate_multicore(
     epoch_accesses: int = 2_000,
     charge_metadata_to_llc: bool = True,
     warmup_accesses_per_core: int = 0,
+    obs: Optional[ObsSession] = None,
 ) -> MultiCoreResult:
     """Simulate one trace per core on a shared LLC + DRAM.
 
@@ -49,7 +56,11 @@ def simulate_multicore(
     prefetcher, as in ChampSim); Triage instances additionally share the
     LLC partition, with the data-way count tracking the *sum* of per-core
     metadata allocations.
+
+    ``obs`` works as in :func:`repro.sim.single_core.simulate`: explicit
+    session, else the globally enabled one, else uninstrumented.
     """
+    wall_start = time.perf_counter()
     n_cores = len(traces)
     if n_cores == 0:
         raise ValueError("need at least one trace")
@@ -78,11 +89,22 @@ def simulate_multicore(
         base_latency_cycles=config.dram_latency_cycles,
         bandwidth_bytes_per_cycle=config.dram_bandwidth_bytes_per_cycle,
     )
-    all_triages = [
-        t for pf in prefetchers for t in triage_components(pf)
-    ]
+    core_triages = [triage_components(pf) for pf in prefetchers]
+    all_triages = [t for triages in core_triages for t in triages]
     _MetadataPartition(hierarchy, config, all_triages, charge_metadata_to_llc)
     l1pfs = [make_l1_prefetcher(config) for _ in range(n_cores)]
+
+    session = obs if obs is not None else get_session()
+    run: Optional[RunObserver] = None
+    if session is not None:
+        run = session.begin_run(
+            "+".join(t.name for t in traces),
+            prefetchers[0].name if prefetchers[0] is not None else "none",
+        )
+        attach_observability(
+            run, all_triages, dram=dram, profiler=session.profiler
+        )
+    prev_store = [(0, 0) for _ in range(n_cores)]  # (lookups, hits) per core
 
     records = [list(t) for t in traces]
     positions = [0] * n_cores
@@ -92,6 +114,37 @@ def simulate_multicore(
     prev_bytes = 0
     accesses_in_epoch = 0
     traffic_offset: dict = {}
+
+    def sample_epoch(loads, epoch_bytes, cycles) -> None:
+        """One epoch row: the per-core way split the paper plots (Fig 15/19)."""
+        dram_info = dram.epoch_log[-1] if dram.epoch_log else {}
+        row = {
+            "epoch_bytes": epoch_bytes,
+            "llc_data_ways": hierarchy.llc.active_ways,
+            "dram_utilization": dram_info.get("utilization", 0.0),
+            "dram_queue_penalty_cycles": dram_info.get("queue_penalty_cycles", 0.0),
+        }
+        for core in range(n_cores):
+            prefix = f"c{core}."
+            row[prefix + "cycles"] = cycles[core]
+            row[prefix + "dram_accesses"] = loads[core].dram_accesses
+            lookups = sum(t.store.lookups for t in core_triages[core])
+            hits = sum(t.store.lookup_hits for t in core_triages[core])
+            d_lookups = lookups - prev_store[core][0]
+            d_hits = hits - prev_store[core][1]
+            prev_store[core] = (lookups, hits)
+            capacity = sum(
+                t.store.capacity_bytes
+                for t in core_triages[core]
+                if not t.store.unbounded
+            )
+            row[prefix + "meta_capacity_bytes"] = capacity
+            row[prefix + "meta_ways"] = config.metadata_ways(capacity)
+            row[prefix + "meta_hit_rate"] = d_hits / d_lookups if d_lookups else 0.0
+        session.registry.histogram("dram.epoch_utilization_pct").observe(
+            int(row["dram_utilization"] * 100)
+        )
+        run.sample_epoch(**row)
 
     def close_epoch() -> None:
         nonlocal prev_counters, prev_bytes, accesses_in_epoch
@@ -120,9 +173,15 @@ def simulate_multicore(
                 counters.llc_hits,
                 counters.dram_accesses,
             )
+        if run is not None:
+            sample_epoch(loads, epoch_bytes, cycles)
         prev_bytes = hierarchy.traffic.total_bytes
         accesses_in_epoch = 0
 
+    prof = session.profiler if session is not None else None
+    profiling = prof is not None
+    t_stream = t_l1pf = t_l2pf = 0.0
+    t0 = 0.0
     for step in range(warmup_accesses_per_core + accesses_per_core):
         if step == warmup_accesses_per_core and warmup_accesses_per_core > 0:
             # Warmup ends (paper: "we warm the cache ... and measure the
@@ -139,13 +198,23 @@ def simulate_multicore(
             core_records = records[core]
             pc, addr, is_write = core_records[positions[core]]
             positions[core] = (positions[core] + 1) % len(core_records)
+            if profiling:
+                t0 = time.perf_counter()
             event = hierarchy.access(core, pc, addr, is_write)
+            if profiling:
+                t_stream += time.perf_counter() - t0
             l1pf = l1pfs[core]
             if l1pf is not None:
+                if profiling:
+                    t0 = time.perf_counter()
                 for candidate in l1pf.observe(pc, event.line):
                     hierarchy.prefetch(core, candidate.line, pc, kind="l1")
+                if profiling:
+                    t_l1pf += time.perf_counter() - t0
             pf = prefetchers[core]
             if pf is not None and event.trains_l2_prefetcher:
+                if profiling:
+                    t0 = time.perf_counter()
                 candidates = pf.observe(
                     event.pc, event.line, prefetch_hit=event.l2_prefetch_hit
                 )
@@ -157,10 +226,21 @@ def simulate_multicore(
                 if metadata_bytes:
                     hierarchy.traffic.add("metadata", metadata_bytes)
                     per_core_metadata_bytes[core] += metadata_bytes
+                if profiling:
+                    t_l2pf += time.perf_counter() - t0
         accesses_in_epoch += 1
         if accesses_in_epoch >= epoch_accesses:
             close_epoch()
     close_epoch()
+    if profiling:
+        # "metadata_store" (timed inside TriagePrefetcher.observe) is a
+        # sub-slice of "l2_stream"/"l2_prefetcher", not an extra share.
+        total_accesses = n_cores * (warmup_accesses_per_core + accesses_per_core)
+        prof.add("l2_stream", t_stream, calls=total_accesses)
+        if any(l1pf is not None for l1pf in l1pfs):
+            prof.add("l1_prefetcher", t_l1pf)
+        if any(pf is not None for pf in prefetchers):
+            prof.add("l2_prefetcher", t_l2pf)
 
     per_core_results = []
     for core in range(n_cores):
@@ -204,11 +284,35 @@ def simulate_multicore(
         category: total - traffic_offset.get(category, 0)
         for category, total in hierarchy.traffic.snapshot().items()
     }
-    return MultiCoreResult(
+    manifest = build_manifest(
+        kind="multi",
+        workloads=[t.name for t in traces],
+        prefetcher=(
+            prefetchers[0].name if prefetchers[0] is not None else "none"
+        ),
+        config=config,
+        seeds=[t.metadata.get("seed") for t in traces],
+        trace_length=accesses_per_core,
+        warmup=warmup_accesses_per_core,
+        instructions=sum(r.instructions for r in per_core_results),
+        cycles=max(r.cycles for r in per_core_results),
+        wall_time_s=time.perf_counter() - wall_start,
+        extra={"engine": "analytic", "n_cores": n_cores, "degree": degree},
+    )
+    result = MultiCoreResult(
         workloads=[t.name for t in traces],
         prefetcher=(
             prefetchers[0].name if prefetchers[0] is not None else "none"
         ),
         per_core=per_core_results,
         traffic=traffic,
+        manifest=manifest,
     )
+    if run is not None:
+        for core in range(n_cores):
+            _register_run_metrics(
+                session, hierarchy.counters[core], core_triages[core]
+            )
+        _register_dram_metrics(session, dram)
+        run.finish(manifest)
+    return result

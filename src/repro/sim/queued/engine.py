@@ -21,18 +21,31 @@ that Figure-level comparisons isolate the timing model
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import replace
 from typing import Dict, List, Optional
 
 from repro.memory.hierarchy import CacheHierarchy
+from repro.obs import ObsSession, RunObserver, get_session
+from repro.obs.manifest import build_manifest
 from repro.prefetchers.hybrid import HybridPrefetcher
 from repro.sim.config import MachineConfig
 from repro.sim.factory import PrefetcherSpec, make_prefetcher
 from repro.sim.queued.dram_sched import BankedDram, DramTimingParams
 from repro.sim.queued.mshr import MshrFile
-from repro.sim.single_core import _MetadataPartition, make_l1_prefetcher, triage_components
+from repro.sim.single_core import (
+    _MetadataPartition,
+    _register_run_metrics,
+    attach_observability,
+    make_l1_prefetcher,
+    triage_components,
+)
 from repro.sim.stats import SimulationResult
 from repro.workloads.base import Trace
+
+#: The queued engine has no analytic epochs; when observing it samples
+#: the time-series every this many demand accesses instead.
+OBS_SAMPLE_ACCESSES = 4_096
 
 
 def simulate_queued(
@@ -45,9 +58,11 @@ def simulate_queued(
     charge_metadata_to_llc: bool = True,
     warmup_accesses: int = 0,
     name: Optional[str] = None,
+    obs: Optional[ObsSession] = None,
 ) -> SimulationResult:
     """Run ``trace`` through the queued engine; same result type as
     :func:`repro.sim.single_core.simulate`."""
+    wall_start = time.perf_counter()
     config = machine or MachineConfig.single_core()
     if config.n_cores != 1:
         raise ValueError("the queued engine is single-core")
@@ -65,6 +80,14 @@ def simulate_queued(
     triages = triage_components(pf)
     _MetadataPartition(hierarchy, config, triages, charge_metadata_to_llc)
     l1pf = make_l1_prefetcher(config)
+
+    session = obs if obs is not None else get_session()
+    run: Optional[RunObserver] = None
+    if session is not None:
+        run = session.begin_run(
+            name or trace.name, pf.name if pf is not None else "none"
+        )
+        attach_observability(run, triages, profiler=session.profiler)
 
     dram = BankedDram(
         DramTimingParams(
@@ -100,6 +123,26 @@ def simulate_queued(
         while outstanding and outstanding[0] <= now:
             line_done = heapq.heappop(outstanding)
             del line_done
+
+    def sample_obs(access_idx: int) -> None:
+        """One time-series row (the queued engine's epoch substitute)."""
+        useful = counters.l2_prefetch_hits
+        would_miss = useful + counters.l2_demand_misses
+        row = {
+            "access_idx": access_idx,
+            "cycles": now - measured_start_cycle,
+            "coverage": useful / would_miss if would_miss else 0.0,
+            "late_prefetch_hits": late_prefetch_hits,
+            "dropped_prefetches": dropped_prefetches,
+            "mshr_full_stalls": mshrs.full_stalls,
+            "llc_data_ways": hierarchy.llc.active_ways,
+        }
+        for i, triage in enumerate(triages):
+            capacity = 0 if triage.store.unbounded else triage.store.capacity_bytes
+            prefix = f"c0.t{i}." if len(triages) > 1 else "c0."
+            row[prefix + "meta_capacity_bytes"] = capacity
+            row[prefix + "meta_ways"] = config.metadata_ways(capacity)
+        run.sample_epoch(**row)
 
     for index, (pc, addr, is_write) in enumerate(trace):
         if index == warmup_accesses and warmup_accesses > 0:
@@ -173,6 +216,9 @@ def simulate_queued(
                 for _ in range(max(1, metadata_bytes // 64)):
                     dram.service(line ^ 0x5A5A, now, is_write=False)
 
+        if run is not None and (index + 1) % OBS_SAMPLE_ACCESSES == 0:
+            sample_obs(index + 1)
+
     while outstanding:
         now = max(now, heapq.heappop(outstanding))
 
@@ -185,6 +231,24 @@ def simulate_queued(
     metadata_dram = pf.metadata_dram_accesses if pf is not None else 0
     if isinstance(pf, HybridPrefetcher):
         metadata_dram = pf.total_metadata_dram_accesses
+    manifest = build_manifest(
+        kind="queued",
+        workloads=[name or trace.name],
+        prefetcher=pf.name if pf is not None else "none",
+        config=config,
+        seeds=[trace.metadata.get("seed")],
+        trace_length=len(trace),
+        warmup=warmup_accesses,
+        instructions=measured_accesses * trace.instr_per_access,
+        cycles=now - measured_start_cycle,
+        wall_time_s=time.perf_counter() - wall_start,
+        extra={
+            "engine": "queued",
+            "degree": degree,
+            "mshr_entries": mshr_entries,
+            "prefetch_queue_depth": prefetch_queue_depth,
+        },
+    )
     result = SimulationResult(
         workload=name or trace.name,
         prefetcher=pf.name if pf is not None else "none",
@@ -194,9 +258,15 @@ def simulate_queued(
         traffic=traffic,
         metadata_llc_accesses=metadata_llc,
         metadata_dram_accesses=metadata_dram,
+        manifest=manifest,
     )
     # Engine-specific extras travel in the counters-adjacent fields.
     result.late_prefetch_hits = late_prefetch_hits
     result.dropped_prefetches = dropped_prefetches
     result.mshr_full_stalls = mshrs.full_stalls
+    if run is not None:
+        _register_run_metrics(session, counters, triages)
+        session.registry.counter("queued.dropped_prefetches").inc(dropped_prefetches)
+        session.registry.counter("queued.mshr_full_stalls").inc(mshrs.full_stalls)
+        run.finish(manifest)
     return result

@@ -9,12 +9,15 @@ and is resized on the fly by the dynamic controller.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.triage import TriagePrefetcher
 from repro.memory.dram import DramModel
 from repro.memory.hierarchy import CacheHierarchy, CoreCounters
+from repro.obs import ObsSession, RunObserver, get_session
+from repro.obs.manifest import build_manifest
 from repro.prefetchers.base import BasePrefetcher
 from repro.prefetchers.hybrid import HybridPrefetcher
 from repro.prefetchers.stride import StridePrefetcher
@@ -37,6 +40,30 @@ def triage_components(prefetcher: Optional[BasePrefetcher]) -> List[TriagePrefet
             found.extend(triage_components(component))
         return found
     return []
+
+
+def attach_observability(
+    run: RunObserver,
+    triages: List[TriagePrefetcher],
+    dram=None,
+    profiler=None,
+) -> None:
+    """Point component observability hooks at an observed run.
+
+    Hooks are plain attributes defaulting to ``None``; attaching them is
+    the *only* thing that makes components emit, so the disabled path
+    stays a single ``is None`` check per site.
+    """
+    for triage in triages:
+        triage.events = run
+        triage.store.events = run
+        triage.store._predictor.events = run
+        if triage.controller is not None:
+            triage.controller.events = run
+        if profiler is not None:
+            triage.profile = profiler
+    if dram is not None:
+        dram.epoch_log = []
 
 
 class _MetadataPartition:
@@ -91,6 +118,7 @@ def simulate(
     charge_metadata_to_llc: bool = True,
     warmup_accesses: int = 0,
     name: Optional[str] = None,
+    obs: Optional[ObsSession] = None,
 ) -> SimulationResult:
     """Simulate ``trace`` on a single core and return the result.
 
@@ -100,7 +128,12 @@ def simulate(
 
     ``charge_metadata_to_llc=False`` gives Triage a free metadata store
     on the side (the "optimistic" configuration of Figure 7).
+
+    ``obs`` is an explicit observability session; when omitted the
+    globally enabled one (``repro.obs.enable``) is used, and when neither
+    exists the run is uninstrumented (the default, zero-overhead path).
     """
+    wall_start = time.perf_counter()
     config = machine or MachineConfig.single_core()
     if config.n_cores != 1:
         raise ValueError("simulate() is single-core; use simulate_multicore()")
@@ -123,6 +156,17 @@ def simulate(
     _MetadataPartition(hierarchy, config, triages, charge_metadata_to_llc)
     l1pf = make_l1_prefetcher(config)
 
+    session = obs if obs is not None else get_session()
+    run: Optional[RunObserver] = None
+    prof = None
+    if session is not None:
+        run = session.begin_run(
+            name or trace.name, pf.name if pf is not None else "none"
+        )
+        prof = session.profiler
+        attach_observability(run, triages, dram=dram, profiler=prof)
+    prev_store = [(0, 0, 0) for _ in triages]  # (lookups, hits, evictions)
+
     counters = hierarchy.counters[0]
     total_cycles = 0.0
     # Epoch snapshots.
@@ -133,6 +177,43 @@ def simulate(
     traffic_offset: dict = {}
     metadata_llc_offset = 0
     metadata_dram_offset = 0
+
+    def sample_epoch(load: EpochLoad, epoch_bytes: int, cycles: float) -> None:
+        """One epoch row for the time-series sampler (observing only)."""
+        dram_info = dram.epoch_log[-1] if dram.epoch_log else {}
+        useful = counters.l2_prefetch_hits
+        would_miss = useful + counters.l2_demand_misses
+        row = {
+            "access_idx": counters.accesses,
+            "cycles": cycles,
+            "l2_hits": load.l2_hits,
+            "llc_hits": load.llc_hits,
+            "dram_accesses": load.dram_accesses,
+            "epoch_bytes": epoch_bytes,
+            "llc_data_ways": hierarchy.llc.active_ways,
+            "coverage": useful / would_miss if would_miss else 0.0,
+            "dram_utilization": dram_info.get("utilization", 0.0),
+            "dram_queue_penalty_cycles": dram_info.get("queue_penalty_cycles", 0.0),
+        }
+        for i, triage in enumerate(triages):
+            store = triage.store
+            lookups, hits, evictions = (
+                store.lookups, store.lookup_hits, store.evictions,
+            )
+            d_lookups = lookups - prev_store[i][0]
+            d_hits = hits - prev_store[i][1]
+            prefix = f"c0.t{i}." if len(triages) > 1 else "c0."
+            capacity = 0 if store.unbounded else store.capacity_bytes
+            row[prefix + "meta_capacity_bytes"] = capacity
+            row[prefix + "meta_ways"] = config.metadata_ways(capacity)
+            row[prefix + "meta_hit_rate"] = d_hits / d_lookups if d_lookups else 0.0
+            row[prefix + "meta_evictions"] = evictions - prev_store[i][2]
+            row[prefix + "meta_occupancy"] = store.occupancy()
+            prev_store[i] = (lookups, hits, evictions)
+        session.registry.histogram("dram.epoch_utilization_pct").observe(
+            int(row["dram_utilization"] * 100)
+        )
+        run.sample_epoch(**row)
 
     def close_epoch() -> None:
         nonlocal prev, prev_bytes, accesses_in_epoch, total_cycles
@@ -146,11 +227,17 @@ def simulate(
             mlp=trace.mlp,
         )
         epoch_bytes = hierarchy.traffic.total_bytes - prev_bytes
-        total_cycles += resolve_epoch([load], epoch_bytes, config, dram)[0]
+        cycles = resolve_epoch([load], epoch_bytes, config, dram)[0]
+        total_cycles += cycles
+        if run is not None:
+            sample_epoch(load, epoch_bytes, cycles)
         prev = (counters.l2_hits, counters.llc_hits, counters.dram_accesses)
         prev_bytes = hierarchy.traffic.total_bytes
         accesses_in_epoch = 0
 
+    profiling = prof is not None
+    t_stream = t_l1pf = t_l2pf = 0.0
+    t0 = 0.0
     for access_idx, (pc, addr, is_write) in enumerate(trace):
         if access_idx == warmup_accesses and warmup_accesses > 0:
             # Warmup ends: drop the statistics gathered so far (state in
@@ -167,13 +254,23 @@ def simulate(
             prev = (0, 0, 0)
             prev_bytes = hierarchy.traffic.total_bytes
             accesses_in_epoch = 0
+        if profiling:
+            t0 = time.perf_counter()
         event = hierarchy.access(0, pc, addr, is_write)
+        if profiling:
+            t_stream += time.perf_counter() - t0
         accesses_in_epoch += 1
         if l1pf is not None:
             # The stride prefetcher trains on the L1D access stream.
+            if profiling:
+                t0 = time.perf_counter()
             for candidate in l1pf.observe(pc, event.line):
                 hierarchy.prefetch(0, candidate.line, pc, kind="l1")
+            if profiling:
+                t_l1pf += time.perf_counter() - t0
         if pf is not None and event.trains_l2_prefetcher:
+            if profiling:
+                t0 = time.perf_counter()
             candidates = pf.observe(
                 event.pc, event.line, prefetch_hit=event.l2_prefetch_hit
             )
@@ -184,9 +281,19 @@ def simulate(
             metadata_bytes = pf.drain_metadata_traffic()
             if metadata_bytes:
                 hierarchy.traffic.add("metadata", metadata_bytes)
+            if profiling:
+                t_l2pf += time.perf_counter() - t0
         if accesses_in_epoch >= epoch_accesses:
             close_epoch()
     close_epoch()
+    if profiling:
+        # "metadata_store" (timed inside TriagePrefetcher.observe) is a
+        # sub-slice of "l2_prefetcher", not an additional share.
+        prof.add("l2_stream", t_stream, calls=len(trace))
+        if l1pf is not None:
+            prof.add("l1_prefetcher", t_l1pf)
+        if pf is not None:
+            prof.add("l2_prefetcher", t_l2pf)
 
     metadata_llc = sum(t.store.llc_accesses for t in triages) - metadata_llc_offset
     metadata_dram = pf.metadata_dram_accesses if pf is not None else 0
@@ -208,7 +315,24 @@ def simulate(
         category: total - traffic_offset.get(category, 0)
         for category, total in hierarchy.traffic.snapshot().items()
     }
-    return SimulationResult(
+    manifest = build_manifest(
+        kind="single",
+        workloads=[name or trace.name],
+        prefetcher=pf.name if pf is not None else "none",
+        config=config,
+        seeds=[trace.metadata.get("seed")],
+        trace_length=len(trace),
+        warmup=warmup_accesses,
+        instructions=measured_accesses * trace.instr_per_access,
+        cycles=total_cycles,
+        wall_time_s=time.perf_counter() - wall_start,
+        extra={
+            "engine": "analytic",
+            "degree": degree,
+            "charge_metadata_to_llc": charge_metadata_to_llc,
+        },
+    )
+    result = SimulationResult(
         workload=name or trace.name,
         prefetcher=pf.name if pf is not None else "none",
         instructions=measured_accesses * trace.instr_per_access,
@@ -219,4 +343,41 @@ def simulate(
         metadata_dram_accesses=metadata_dram,
         final_metadata_capacity=final_capacity,
         partition_history=partition_history,
+        manifest=manifest,
     )
+    if run is not None:
+        _register_run_metrics(session, counters, triages)
+        _register_dram_metrics(session, dram)
+        run.finish(manifest)
+    return result
+
+
+def _register_dram_metrics(session, dram) -> None:
+    """Fold a run's DRAM epoch log into the session registry."""
+    if dram is not None and getattr(dram, "epoch_log", None):
+        session.registry.counter("dram.queue_penalty_cycles").inc(
+            int(sum(e["queue_penalty_cycles"] for e in dram.epoch_log))
+        )
+
+
+def _register_run_metrics(session, counters, triages) -> None:
+    """Fold one finished core's component stats into the session registry."""
+    reg = session.registry
+    reg.counter("sim.runs").inc()
+    reg.counter("sim.accesses").inc(counters.accesses)
+    reg.counter("sim.dram_accesses").inc(counters.dram_accesses)
+    reg.counter("sim.prefetches_issued").inc(counters.prefetches_issued)
+    reg.counter("sim.prefetches_useful").inc(counters.l2_prefetch_hits)
+    for triage in triages:
+        store = triage.store
+        reg.counter("triage.meta_store.lookups").inc(store.lookups)
+        reg.counter("triage.meta_store.hits").inc(store.lookup_hits)
+        reg.counter("triage.meta_store.inserts").inc(store.inserts)
+        reg.counter("triage.meta_store.evictions").inc(store.evictions)
+        if triage.controller is not None:
+            reg.counter("triage.partition.decisions").inc(
+                len(triage.controller.decisions)
+            )
+            reg.counter("triage.partition.changes").inc(
+                sum(1 for d in triage.controller.decisions if d.changed)
+            )

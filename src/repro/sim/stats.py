@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.memory.hierarchy import CoreCounters
+from repro.obs.manifest import RunManifest
 
 
 @dataclass
@@ -33,6 +34,9 @@ class SimulationResult:
     metadata_dram_accesses: int = 0
     final_metadata_capacity: Optional[int] = None
     partition_history: List[int] = field(default_factory=list)
+    #: Provenance record built by the engine (config, seeds, wall time,
+    #: metric dump); see :mod:`repro.obs.manifest`.
+    manifest: Optional[RunManifest] = field(default=None, repr=False, compare=False)
 
     # -- headline metrics ------------------------------------------------
 
@@ -88,6 +92,9 @@ class MultiCoreResult:
     prefetcher: str
     per_core: List[SimulationResult]
     traffic: Dict[str, int]
+    #: Provenance record for the whole mix run (see
+    #: :mod:`repro.obs.manifest`).
+    manifest: Optional[RunManifest] = field(default=None, repr=False, compare=False)
 
     @property
     def n_cores(self) -> int:

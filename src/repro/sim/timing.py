@@ -82,4 +82,11 @@ def resolve_epoch(
     if floor > wall:
         stretch = floor / wall
         cycles = [c * stretch for c in cycles]
+    if dram.epoch_log is not None:
+        dram.record_epoch(
+            utilization=dram.utilization(epoch_bytes, max(wall, floor)),
+            effective_latency=dram_latency,
+            nbytes=epoch_bytes,
+            dram_accesses=sum(load.dram_accesses for load in loads),
+        )
     return cycles

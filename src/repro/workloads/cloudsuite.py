@@ -146,4 +146,8 @@ def make_trace(
         raise ValueError(f"unknown CloudSuite benchmark {name!r}") from None
     if arena is None:
         arena = _ARENAS[name]
-    return builder(n_accesses, seed, arena, scale)
+    trace = builder(n_accesses, seed, arena, scale)
+    # Provenance for run manifests (repro.obs.manifest).
+    trace.metadata.setdefault("seed", seed)
+    trace.metadata.setdefault("scale", scale)
+    return trace

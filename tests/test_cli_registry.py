@@ -38,6 +38,29 @@ def test_cli_requires_command():
         main([])
 
 
-def test_cli_run_unknown_experiment():
-    with pytest.raises(ValueError):
-        main(["run", "fig99"])
+def test_cli_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment 'fig99'" in err
+    assert "fig05" in err  # the message lists the valid names
+
+
+def test_cli_list_tolerates_empty_docstring(capsys, monkeypatch):
+    class _Bare:
+        __doc__ = ""
+
+        @staticmethod
+        def run(quick=False):
+            return ""
+
+        main = run
+
+    monkeypatch.setitem(EXPERIMENTS, "bare", _Bare)
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert any(line.startswith("bare") for line in out.splitlines())
+
+
+def test_cli_report_missing_path(capsys, tmp_path):
+    assert main(["report", str(tmp_path / "nope")]) == 2
+    assert "no such run directory" in capsys.readouterr().err
