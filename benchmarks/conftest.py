@@ -5,7 +5,11 @@ times it via pytest-benchmark, prints the regenerated table and writes it
 to ``results/<bench>.txt`` so the numbers survive the run.
 
 Set ``REPRO_QUICK=1`` to run every figure on reduced benchmark subsets
-and trace lengths (used by CI-style smoke runs).
+and trace lengths (used by CI-style smoke runs).  ``REPRO_JOBS=N`` fans
+each harness's simulation grid over N worker processes, and
+``REPRO_CACHE_DIR=PATH`` adds the persistent result/trace cache
+(:mod:`repro.cache`), so re-benchmarking an unchanged configuration is
+dominated by harness overhead rather than simulation.
 """
 
 from __future__ import annotations
@@ -14,7 +18,27 @@ import json
 import os
 from pathlib import Path
 
+import pytest
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _repro_cache_session():
+    """Bind the disk cache for the whole bench session, report at exit."""
+    from repro import cache
+
+    store = None
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", "")
+    if cache_dir:
+        store = cache.configure(cache_dir)
+    yield
+    if store is not None:
+        session = store.stats()["session"]
+        print(
+            f"\n[repro.cache] {store.root}: {session['hits']} hits, "
+            f"{session['misses']} misses, {session['errors']} corrupt entries"
+        )
 
 
 def record_table(name: str, table) -> None:

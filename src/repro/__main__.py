@@ -9,16 +9,27 @@ Subcommands:
                                            -- regenerate with observability
                                               (epoch time-series, trace
                                               events, manifests under DIR)
+* ``python -m repro run fig05 --jobs 8 --cache-dir results/cache``
+                                           -- fan simulation cells over 8
+                                              worker processes and keep a
+                                              persistent result/trace cache
 * ``python -m repro report DIR``           -- render a flushed obs directory
 * ``python -m repro profile fig05``        -- run with wall-time attribution
+* ``python -m repro cache stats|clear``    -- inspect / empty the on-disk
+                                              result cache
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
+
+#: ``cache`` subcommand fallback when neither --cache-dir nor
+#: ``REPRO_CACHE_DIR`` names a directory.
+DEFAULT_CACHE_DIR = "results/cache"
 
 
 def _module_summary(module) -> str:
@@ -76,6 +87,16 @@ def main(argv=None) -> int:
         help="output directory for observability artifacts "
         "(default: results/obs/<experiment>; implies --obs)",
     )
+    run_parser.add_argument(
+        "--jobs", type=int, metavar="N", default=None,
+        help="fan simulation cells over N worker processes "
+        "(default: serial; also settable via REPRO_JOBS)",
+    )
+    run_parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="persistent result/trace cache directory "
+        "(default: off; also settable via REPRO_CACHE_DIR)",
+    )
 
     report_parser = sub.add_parser(
         "report", help="render a flushed observability directory as tables"
@@ -95,7 +116,25 @@ def main(argv=None) -> int:
     profile_parser.add_argument("experiment", help="experiment name, e.g. fig05")
     profile_parser.add_argument("--quick", action="store_true")
 
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    for cache_command, cache_help in (
+        ("stats", "entry counts and sizes of a cache directory"),
+        ("clear", "remove every entry (all key-schema versions)"),
+    ):
+        cache_cmd_parser = cache_sub.add_parser(cache_command, help=cache_help)
+        cache_cmd_parser.add_argument(
+            "--cache-dir", metavar="PATH", default=None,
+            help=f"cache directory (default: $REPRO_CACHE_DIR or "
+            f"{DEFAULT_CACHE_DIR})",
+        )
+
     args = parser.parse_args(argv)
+
+    if args.command == "cache":
+        return _cache_command(args)
 
     if args.command == "list":
         from repro.experiments.registry import EXPERIMENTS
@@ -118,6 +157,15 @@ def main(argv=None) -> int:
     selected = _resolve_experiments(args.experiment)
     if selected is None:
         return 2
+
+    if getattr(args, "jobs", None):
+        # The harnesses (and their worker processes) read REPRO_JOBS.
+        os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+    if getattr(args, "cache_dir", None):
+        from repro import cache
+
+        cache.configure(args.cache_dir)
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
 
     from repro import obs
 
@@ -148,6 +196,32 @@ def main(argv=None) -> int:
             )
             print(f"render with: python -m repro report {session.out_dir}")
     return 0
+
+
+def _cache_command(args) -> int:
+    """``python -m repro cache stats|clear``."""
+    from repro.cache import ResultCache
+
+    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    store = ResultCache(root)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        print(f"cache directory: {stats['root']} (key schema v{stats['schema']})")
+        for kind in ("results", "traces"):
+            entry = stats[kind]
+            print(f"  {kind:<8} {entry['count']:>6} entries  {entry['bytes']:>12} bytes")
+        if stats["stale_versions"]:
+            print(
+                "  stale schema versions present: "
+                + ", ".join(stats["stale_versions"])
+                + "  (run 'cache clear' to reclaim)"
+            )
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached file(s) from {store.root}")
+        return 0
+    return 2
 
 
 if __name__ == "__main__":

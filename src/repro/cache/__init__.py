@@ -1,0 +1,102 @@
+"""Persistent, content-addressed caching of traces and results.
+
+``repro.cache`` is the disk tier behind every memoizer in the package:
+generated workload traces and finished
+:class:`~repro.sim.stats.SimulationResult` /
+:class:`~repro.sim.stats.MultiCoreResult` records are stored under a
+SHA-256 key derived from everything that determines their content
+(workload spec, prefetcher config, machine config, seed, trace length,
+run parameters, package version, key-schema version -- see
+:mod:`repro.cache.keys`).  Re-running any figure or sweep with the same
+configuration then costs one JSON read per cell instead of a
+simulation.
+
+The cache is **off by default**.  Enable it per process with
+:func:`configure`, per invocation with ``python -m repro run
+--cache-dir PATH``, or ambiently with the ``REPRO_CACHE_DIR``
+environment variable (which also reaches pytest/benchmark runs and the
+parallel sweep workers).  ``python -m repro cache stats|clear``
+inspects and reclaims a cache directory.
+
+Guarantees:
+
+* **round-trip fidelity** -- a warm-cache lookup returns a result that
+  compares equal to what the cold run produced (tier-1 tested);
+* **corruption safety** -- truncated or garbage entries read as misses
+  and are recomputed/overwritten, never raised;
+* **invalidation by construction** -- keys embed the package version
+  and :data:`~repro.cache.keys.KEY_SCHEMA_VERSION`, so stale entries
+  are simply never addressed again (``cache clear`` reclaims them);
+* **provenance** -- every cached result carries the producing run's
+  :class:`~repro.obs.manifest.RunManifest`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.cache.keys import (
+    KEY_SCHEMA_VERSION,
+    UncacheableSpec,
+    generic_key,
+    run_key,
+    spec_fingerprint,
+    stable_hash,
+    trace_key,
+)
+from repro.cache.store import ResultCache
+
+__all__ = [
+    "KEY_SCHEMA_VERSION",
+    "ResultCache",
+    "UncacheableSpec",
+    "configure",
+    "disable",
+    "generic_key",
+    "get_cache",
+    "run_key",
+    "spec_fingerprint",
+    "stable_hash",
+    "trace_key",
+]
+
+#: Explicitly configured cache (takes precedence over the environment).
+_CACHE: Optional[ResultCache] = None
+#: One instance per root, so hit/miss counters survive repeated lookups.
+_BY_ROOT: Dict[str, ResultCache] = {}
+
+
+def _instance(root: Union[str, Path]) -> ResultCache:
+    key = str(Path(root))
+    if key not in _BY_ROOT:
+        _BY_ROOT[key] = ResultCache(key)
+    return _BY_ROOT[key]
+
+
+def configure(root: Optional[Union[str, Path]]) -> Optional[ResultCache]:
+    """Install (and return) the process-wide cache; ``None`` disables it."""
+    global _CACHE
+    _CACHE = _instance(root) if root is not None else None
+    return _CACHE
+
+
+def disable() -> None:
+    """Turn the process-wide cache off (the environment is ignored too)."""
+    global _CACHE
+    _CACHE = None
+    os.environ.pop("REPRO_CACHE_DIR", None)
+
+
+def get_cache() -> Optional[ResultCache]:
+    """The active cache: :func:`configure`'s, else ``REPRO_CACHE_DIR``'s.
+
+    Returns ``None`` when caching is off (the default).  The environment
+    is consulted on every call so tests and subprocesses that set
+    ``REPRO_CACHE_DIR`` late still get the disk tier.
+    """
+    if _CACHE is not None:
+        return _CACHE
+    root = os.environ.get("REPRO_CACHE_DIR", "")
+    return _instance(root) if root else None

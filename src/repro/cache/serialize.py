@@ -1,0 +1,85 @@
+"""Lossless JSON serialization of simulation results.
+
+Cached entries must round-trip *exactly*: a warm-cache run has to return
+a :class:`~repro.sim.stats.SimulationResult` that compares equal to the
+one the cold run produced (floats included -- JSON preserves IEEE-754
+doubles exactly via ``repr``-based encoding).  Manifests ride along so
+every cached entry keeps its provenance (config, seeds, wall time,
+package version of the producing run).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.memory.hierarchy import CoreCounters
+from repro.obs.manifest import RunManifest
+from repro.sim.stats import MultiCoreResult, SimulationResult
+
+
+def counters_to_dict(counters: CoreCounters) -> Dict[str, int]:
+    return dataclasses.asdict(counters)
+
+
+def counters_from_dict(data: Dict[str, int]) -> CoreCounters:
+    known = {f.name for f in dataclasses.fields(CoreCounters)}
+    return CoreCounters(**{k: v for k, v in data.items() if k in known})
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, object]:
+    return {
+        "workload": result.workload,
+        "prefetcher": result.prefetcher,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "counters": counters_to_dict(result.counters),
+        "traffic": dict(result.traffic),
+        "metadata_llc_accesses": result.metadata_llc_accesses,
+        "metadata_dram_accesses": result.metadata_dram_accesses,
+        "final_metadata_capacity": result.final_metadata_capacity,
+        "partition_history": list(result.partition_history),
+        "manifest": result.manifest.to_dict() if result.manifest else None,
+    }
+
+
+def result_from_dict(data: Dict[str, object]) -> SimulationResult:
+    manifest: Optional[RunManifest] = None
+    if data.get("manifest") is not None:
+        manifest = RunManifest.from_dict(data["manifest"])
+    return SimulationResult(
+        workload=data["workload"],
+        prefetcher=data["prefetcher"],
+        instructions=data["instructions"],
+        cycles=data["cycles"],
+        counters=counters_from_dict(data["counters"]),
+        traffic={str(k): int(v) for k, v in data["traffic"].items()},
+        metadata_llc_accesses=data["metadata_llc_accesses"],
+        metadata_dram_accesses=data["metadata_dram_accesses"],
+        final_metadata_capacity=data["final_metadata_capacity"],
+        partition_history=list(data["partition_history"]),
+        manifest=manifest,
+    )
+
+
+def multi_to_dict(result: MultiCoreResult) -> Dict[str, object]:
+    return {
+        "workloads": list(result.workloads),
+        "prefetcher": result.prefetcher,
+        "per_core": [result_to_dict(core) for core in result.per_core],
+        "traffic": dict(result.traffic),
+        "manifest": result.manifest.to_dict() if result.manifest else None,
+    }
+
+
+def multi_from_dict(data: Dict[str, object]) -> MultiCoreResult:
+    manifest: Optional[RunManifest] = None
+    if data.get("manifest") is not None:
+        manifest = RunManifest.from_dict(data["manifest"])
+    return MultiCoreResult(
+        workloads=list(data["workloads"]),
+        prefetcher=data["prefetcher"],
+        per_core=[result_from_dict(core) for core in data["per_core"]],
+        traffic={str(k): int(v) for k, v in data["traffic"].items()},
+        manifest=manifest,
+    )

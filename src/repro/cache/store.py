@@ -1,0 +1,189 @@
+"""The on-disk, content-addressed result/trace store.
+
+Layout (all under one user-chosen root)::
+
+    <root>/v<KEY_SCHEMA_VERSION>/results/<key[:2]>/<key>.json
+    <root>/v<KEY_SCHEMA_VERSION>/traces/<key[:2]>/<key>.rpt
+
+Result entries are JSON envelopes carrying the producing run's manifest
+(provenance) next to the serialized result; traces use the binary
+``traceio`` format.  Writes are atomic (temp file + ``os.replace``), so
+a crashed or concurrent writer can never leave a half-written entry
+under its final name.  Reads treat *any* malformed entry -- truncated,
+garbage, wrong schema, wrong key -- as a miss: the caller recomputes and
+overwrites, never crashes.
+
+Old schema versions live in sibling ``v<N>/`` directories that current
+keys never address; ``clear()`` (the ``cache clear`` CLI) removes them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.cache import serialize
+from repro.cache.keys import KEY_SCHEMA_VERSION
+from repro.sim.stats import MultiCoreResult, SimulationResult
+from repro.workloads.base import Trace
+from repro.workloads.traceio import load_trace, save_trace
+
+
+class ResultCache:
+    """One cache root: get/put results and traces, stats, clear.
+
+    ``hits``/``misses``/``errors`` count this process's lookups (a
+    corrupt entry counts as both an error and a miss); they back the
+    warm-vs-cold assertions in the test suite and the ``cache stats``
+    CLI's session-independent entry counts come from a disk walk.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+
+    # -- layout ----------------------------------------------------------
+
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{KEY_SCHEMA_VERSION}"
+
+    def result_path(self, key: str) -> Path:
+        return self.version_dir / "results" / key[:2] / f"{key}.json"
+
+    def trace_path(self, key: str) -> Path:
+        return self.version_dir / "traces" / key[:2] / f"{key}.rpt"
+
+    # -- results ---------------------------------------------------------
+
+    def get_result(
+        self, key: str
+    ) -> Optional[Union[SimulationResult, MultiCoreResult]]:
+        """The cached result under ``key``, or ``None`` (miss/corrupt)."""
+        path = self.result_path(key)
+        try:
+            envelope = json.loads(path.read_text())
+            if envelope["schema"] != KEY_SCHEMA_VERSION or envelope["key"] != key:
+                raise ValueError("schema/key mismatch")
+            if envelope["kind"] == "multi":
+                result = serialize.multi_from_dict(envelope["result"])
+            else:
+                result = serialize.result_from_dict(envelope["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated/garbage/stale entry: recompute rather than crash.
+            self.errors += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put_result(
+        self, key: str, result: Union[SimulationResult, MultiCoreResult]
+    ) -> Path:
+        """Store ``result`` (with its manifest provenance) under ``key``."""
+        multi = isinstance(result, MultiCoreResult)
+        envelope = {
+            "schema": KEY_SCHEMA_VERSION,
+            "key": key,
+            "kind": "multi" if multi else "single",
+            "created_unix": time.time(),
+            "result": (
+                serialize.multi_to_dict(result)
+                if multi
+                else serialize.result_to_dict(result)
+            ),
+        }
+        path = self.result_path(key)
+        _atomic_write_text(path, json.dumps(envelope, sort_keys=True) + "\n")
+        return path
+
+    # -- traces ----------------------------------------------------------
+
+    def get_trace(self, key: str) -> Optional[Trace]:
+        path = self.trace_path(key)
+        try:
+            trace = load_trace(path)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.errors += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def put_trace(self, key: str, trace: Trace) -> Path:
+        path = self.trace_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        os.close(fd)
+        try:
+            save_trace(trace, tmp)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return path
+
+    # -- maintenance -----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Entry counts and byte totals, current schema vs stale ones."""
+        results = list((self.version_dir / "results").rglob("*.json"))
+        traces = list((self.version_dir / "traces").rglob("*.rpt"))
+        stale_versions = sorted(
+            p.name
+            for p in self.root.glob("v*")
+            if p.is_dir() and p != self.version_dir
+        )
+        return {
+            "root": str(self.root),
+            "schema": KEY_SCHEMA_VERSION,
+            "results": {
+                "count": len(results),
+                "bytes": sum(p.stat().st_size for p in results),
+            },
+            "traces": {
+                "count": len(traces),
+                "bytes": sum(p.stat().st_size for p in traces),
+            },
+            "stale_versions": stale_versions,
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "errors": self.errors,
+            },
+        }
+
+    def clear(self) -> int:
+        """Remove every cache entry (all schema versions); returns count."""
+        removed = 0
+        for version_dir in self.root.glob("v*"):
+            if not version_dir.is_dir():
+                continue
+            removed += sum(1 for p in version_dir.rglob("*") if p.is_file())
+            shutil.rmtree(version_dir)
+        return removed
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)

@@ -208,9 +208,61 @@ def label(name: str) -> str:
 
 
 # -- memoized simulation runs ---------------------------------------------
+#
+# Two tiers: a process-local dict (figures sharing configurations reuse
+# runs within one invocation) in front of the optional persistent disk
+# cache (:mod:`repro.cache`, enabled via ``REPRO_CACHE_DIR`` or
+# ``python -m repro run --cache-dir``), which survives across processes.
+# Tests and benchmarks reset the process tier with :func:`clear_caches`
+# rather than reaching into the private dicts.
 
 _TRACE_CACHE: Dict[Tuple, object] = {}
 _RUN_CACHE: Dict[Tuple, SimulationResult] = {}
+
+
+def clear_caches() -> None:
+    """Empty every process-local memo (disk cache entries are untouched)."""
+    from repro.sim import parallel
+
+    _TRACE_CACHE.clear()
+    _RUN_CACHE.clear()
+    _MIX_CACHE.clear()
+    parallel.clear_trace_memo()
+
+
+def _disk_cache():
+    from repro import cache
+
+    return cache.get_cache()
+
+
+def _run_single_disk_key(
+    suite: str,
+    bench: str,
+    prefetcher: str,
+    n: int,
+    seed: int,
+    degree: int,
+    machine: MachineConfig,
+    charge_metadata_to_llc: bool,
+) -> str:
+    from repro import cache
+
+    return cache.run_key(
+        namespace="experiments.run_single",
+        workload={
+            "suite": suite,
+            "bench": bench,
+            "n_accesses": n,
+            "seed": seed,
+            "scale": SCALE,
+        },
+        prefetcher=cache.spec_fingerprint(prefetcher),
+        machine=machine,
+        degree=degree,
+        warmup=int(n * WARMUP_FRACTION),
+        charge_metadata_to_llc=charge_metadata_to_llc,
+    )
 
 
 def _trace_gen_phase():
@@ -224,12 +276,28 @@ def _trace_gen_phase():
 
 
 def get_trace(bench: str, n: int, seed: int = 1, suite: str = "spec"):
-    """Build (and cache) a scaled trace for a named benchmark."""
+    """Build (and cache) a scaled trace for a named benchmark.
+
+    Process memo first, then the persistent disk tier (when a cache is
+    configured), then the generator.
+    """
     key = (suite, bench, n, seed, SCALE)
     if key not in _TRACE_CACHE:
+        disk = _disk_cache()
+        disk_key = None
+        if disk is not None:
+            from repro import cache
+
+            disk_key = cache.trace_key(suite, bench, n, seed, SCALE)
+            cached = disk.get_trace(disk_key)
+            if cached is not None:
+                _TRACE_CACHE[key] = cached
+                return cached
         maker = spec.make_trace if suite == "spec" else cloudsuite.make_trace
         with _trace_gen_phase():
             _TRACE_CACHE[key] = maker(bench, n_accesses=n, seed=seed, scale=SCALE)
+        if disk_key is not None:
+            disk.put_trace(disk_key, _TRACE_CACHE[key])
     return _TRACE_CACHE[key]
 
 
@@ -251,6 +319,17 @@ def run_single(
         machine_key, charge_metadata_to_llc,
     )
     if key not in _RUN_CACHE:
+        disk = _disk_cache()
+        disk_key = None
+        if disk is not None:
+            disk_key = _run_single_disk_key(
+                suite, bench, prefetcher, n, seed, degree,
+                machine_key, charge_metadata_to_llc,
+            )
+            cached = disk.get_result(disk_key)
+            if cached is not None:
+                _RUN_CACHE[key] = cached
+                return cached
         trace = get_trace(bench, n, seed, suite)
         _RUN_CACHE[key] = simulate(
             trace,
@@ -259,7 +338,60 @@ def run_single(
             charge_metadata_to_llc=charge_metadata_to_llc,
             warmup_accesses=int(n * WARMUP_FRACTION),
         )
+        if disk_key is not None:
+            disk.put_result(disk_key, _RUN_CACHE[key])
     return _RUN_CACHE[key]
+
+
+def warm_grid(
+    benches: Sequence[str],
+    prefetchers: Sequence[str],
+    n: Optional[int] = None,
+    seed: int = 1,
+    degree: int = 1,
+    suite: str = "spec",
+    n_jobs: Optional[int] = None,
+) -> int:
+    """Precompute a (benchmark x prefetcher) grid of :func:`run_single`.
+
+    Fans the not-yet-memoized cells over worker processes
+    (:mod:`repro.sim.parallel`) and primes :data:`_RUN_CACHE`, so a
+    figure harness's serial loop afterwards only does table assembly.
+    ``n_jobs=None`` reads ``REPRO_JOBS`` and stays a no-op when that
+    requests a serial run (the harness loop computes the same cells
+    lazily, so skipping here avoids doing the work twice).  Returns the
+    number of cells actually computed.
+    """
+    from repro.sim import parallel
+
+    n = n or N_SINGLE
+    if n_jobs is None:
+        n_jobs = parallel.jobs_from_env(default=1)
+    if n_jobs <= 1:
+        return 0
+    cells = []
+    keys = []
+    for bench in benches:
+        for prefetcher in prefetchers:
+            key = (suite, bench, prefetcher, n, seed, degree, MACHINE, True)
+            if key in _RUN_CACHE:
+                continue
+            keys.append(key)
+            cells.append(
+                parallel.run_single_cell(
+                    bench=bench,
+                    prefetcher=prefetcher,
+                    n=n,
+                    seed=seed,
+                    degree=degree,
+                    suite=suite,
+                )
+            )
+    if not cells:
+        return 0
+    for key, result in zip(keys, parallel.run_cells(cells, n_jobs=n_jobs)):
+        _RUN_CACHE[key] = result
+    return len(cells)
 
 
 def run_mix(
@@ -372,9 +504,31 @@ def run_mix_cached(
     names_key: Optional[Tuple[str, ...]] = None,
     degree: int = 1,
 ) -> MultiCoreResult:
-    """Memoized :func:`run_mix`."""
+    """Memoized :func:`run_mix` (process memo + optional disk tier)."""
     key = (n_cores, mix_seed, prefetcher, n_per_core, irregular_only, names_key, degree)
     if key not in _MIX_CACHE:
+        disk = _disk_cache()
+        disk_key = None
+        if disk is not None:
+            from repro import cache
+
+            disk_key = cache.generic_key(
+                "experiments.run_mix",
+                {
+                    "n_cores": n_cores,
+                    "mix_seed": mix_seed,
+                    "prefetcher": prefetcher,
+                    "n_per_core": n_per_core,
+                    "irregular_only": irregular_only,
+                    "names": list(names_key) if names_key else None,
+                    "degree": degree,
+                    "multi_scale": MULTI_SCALE,
+                },
+            )
+            cached = disk.get_result(disk_key)
+            if cached is not None:
+                _MIX_CACHE[key] = cached
+                return cached
         _MIX_CACHE[key] = run_mix(
             n_cores,
             mix_seed,
@@ -384,6 +538,8 @@ def run_mix_cached(
             names=list(names_key) if names_key else None,
             degree=degree,
         )
+        if disk_key is not None:
+            disk.put_result(disk_key, _MIX_CACHE[key])
     return _MIX_CACHE[key]
 
 

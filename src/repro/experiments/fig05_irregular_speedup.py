@@ -21,6 +21,9 @@ def benchmarks(quick: bool) -> List[str]:
 
 def run(quick: bool = False) -> common.ExperimentTable:
     n = common.N_SINGLE_QUICK if quick else common.N_SINGLE
+    # Fan the grid over worker processes when REPRO_JOBS asks for it
+    # (no-op when serial; the loop below then computes cells lazily).
+    common.warm_grid(benchmarks(quick), ["none"] + CONFIGS, n=n)
     table = common.ExperimentTable(
         title="Figure 5: speedup over no L2 prefetching (irregular SPEC)",
         headers=["benchmark"] + [common.label(c) for c in CONFIGS],

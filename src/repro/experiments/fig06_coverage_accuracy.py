@@ -14,6 +14,7 @@ CONFIGS = ["bo", "sms", "triage_512kb", "triage_1mb", "triage_dynamic"]
 
 def run(quick: bool = False) -> common.ExperimentTable:
     n = common.N_SINGLE_QUICK if quick else common.N_SINGLE
+    common.warm_grid(benchmarks(quick), CONFIGS, n=n)
     headers = ["benchmark"]
     for config in CONFIGS:
         headers += [f"{common.label(config)} cov", f"{common.label(config)} acc"]

@@ -23,6 +23,7 @@ CONFIGS = ["stms", "domino", "misb", "triage_dynamic"]
 
 def run(quick: bool = False) -> common.ExperimentTable:
     n = common.N_SINGLE_QUICK if quick else common.N_SINGLE
+    common.warm_grid(benchmarks(quick), ["none"] + CONFIGS, n=n)
     headers = ["benchmark"]
     for config in CONFIGS:
         headers += [f"{common.label(config)} speedup", f"{common.label(config)} traffic+%"]

@@ -195,6 +195,54 @@ class MetricsRegistry:
         """Flat ``{name: value-or-histogram-dump}`` snapshot."""
         return {name: self._metrics[name].dump() for name in self.names()}
 
+    def dump_typed(self) -> Dict[str, Dict[str, object]]:
+        """A self-describing snapshot that :meth:`merge_typed` can fold in.
+
+        Unlike :meth:`as_dict` this keeps the instrument type explicit,
+        so a parallel worker's registry can be merged into the parent's
+        without guessing whether a number was a counter or a gauge.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {"type": "gauge", "value": metric.value}
+            elif isinstance(metric, Histogram):
+                out[name] = {
+                    "type": "histogram",
+                    "counts": list(metric.counts),
+                    "total": metric.total,
+                    "sum": metric.sum,
+                }
+        return out
+
+    def merge_typed(self, dump: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`dump_typed` snapshot into this registry.
+
+        Counters and histograms accumulate; gauges are last-write-wins
+        (callers merge worker dumps in submission order, which keeps the
+        result deterministic).
+        """
+        for name in sorted(dump):
+            spec = dump[name]
+            kind = spec.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(spec["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(spec["value"])
+            elif kind == "histogram":
+                counts = list(spec["counts"])
+                hist = self.histogram(name, buckets=len(counts))
+                last = len(hist.counts) - 1
+                for i, c in enumerate(counts):
+                    hist.counts[min(i, last)] += c
+                hist.total += spec["total"]
+                hist.sum += spec["sum"]
+            else:
+                raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=1, sort_keys=True)
 

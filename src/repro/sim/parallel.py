@@ -1,0 +1,308 @@
+"""Parallel sweep execution over a process pool, with the disk cache.
+
+The unit of work is a *cell*: one ``(workload, prefetcher-config)``
+simulation, described by a picklable dict.  :func:`run_cells` executes a
+list of cells either in-process (``n_jobs=1``) or fanned out over a
+``ProcessPoolExecutor``, returning results **in input order** either
+way.  Both paths run the *same* per-cell code
+(:func:`simulate_sweep_cell` / ``experiments.common.run_single``), so a
+parallel sweep is bit-identical to a serial one -- the determinism tests
+in ``tests/test_parallel_determinism.py`` pin this down.
+
+Caching: each cell consults the process cache
+(:func:`repro.cache.get_cache`) before simulating -- generated traces
+and finished results both have disk tiers -- so a warm-cache sweep makes
+zero ``simulate()`` calls.  Workers receive the parent's cache root
+explicitly in their payload (no reliance on fork-time inheritance).
+
+Observability: when the parent has an active
+:class:`~repro.obs.ObsSession`, each worker runs its cell under a fresh
+local session and ships back a typed metrics dump, its trace events,
+epoch rows and manifests; the parent folds them in **in cell-submission
+order**, so merged counters/events are deterministic regardless of
+worker scheduling.  Run manifests of parallel results are also appended
+to the always-on :data:`repro.obs.manifest.RUN_LOG` (worker-side logs
+die with the worker), keeping bench provenance files complete.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro import cache
+from repro.core.triage import TriageConfig
+from repro.obs import get_session
+from repro.obs.manifest import RUN_LOG, RunManifest
+from repro.sim.single_core import simulate
+from repro.sim.stats import MultiCoreResult, SimulationResult
+from repro.workloads import spec as spec_workloads
+
+Cell = Dict[str, object]
+
+
+def default_jobs() -> int:
+    """Worker count when none is given: ``REPRO_JOBS``, else cores - 1."""
+    env = os.environ.get("REPRO_JOBS", "")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """``REPRO_JOBS`` if set, else ``default``.
+
+    Implicit call sites (figure harnesses, ``sweep()`` without
+    ``n_jobs``) use this so they stay serial unless the user opted in
+    via ``--jobs`` / the environment; explicit :func:`run_cells` callers
+    get the cores-based :func:`default_jobs` instead.
+    """
+    env = os.environ.get("REPRO_JOBS", "")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return default
+
+
+# -- cells -------------------------------------------------------------------
+
+
+def sweep_cell(
+    bench: str,
+    spec,
+    config_name: str,
+    n_accesses: int,
+    seed: int,
+    scale: int,
+    machine,
+    warmup: int,
+    degree: int = 1,
+) -> Cell:
+    """Describe one sweep cell (everything a worker needs, picklable)."""
+    return {
+        "task": "sweep",
+        "bench": bench,
+        "spec": spec,
+        "config_name": config_name,
+        "n_accesses": n_accesses,
+        "seed": seed,
+        "scale": scale,
+        "machine": machine,
+        "warmup": warmup,
+        "degree": degree,
+    }
+
+
+def run_single_cell(**kwargs) -> Cell:
+    """A cell that executes ``experiments.common.run_single(**kwargs)``."""
+    return {"task": "run_single", "kwargs": kwargs}
+
+
+def _parallel_safe(cell: Cell) -> bool:
+    """Whether a cell can cross a process boundary.
+
+    Sweep cells carrying an already-built prefetcher instance (shared
+    mutable state) or a factory callable stay in-process: shipping a
+    copy to a worker would silently change the documented
+    state-carrying semantics, and callables generally don't pickle.
+    """
+    if cell["task"] != "sweep":
+        return True
+    return cell["spec"] is None or isinstance(cell["spec"], (str, TriageConfig))
+
+
+# -- per-cell execution (shared by the serial and parallel paths) ------------
+
+
+#: Process-local trace memo so a sweep generates each workload once per
+#: process even with the disk cache off (cells of one benchmark share
+#: their trace, as the pre-parallel serial loop did).  Cleared by
+#: :func:`clear_trace_memo` / ``experiments.common.clear_caches``.
+_TRACE_MEMO: Dict[tuple, object] = {}
+
+
+def clear_trace_memo() -> None:
+    _TRACE_MEMO.clear()
+
+
+def _sweep_trace(cell: Cell, store):
+    """The cell's workload trace: process memo, disk tier, else generate."""
+    memo_key = (cell["bench"], cell["n_accesses"], cell["seed"], cell["scale"])
+    if memo_key in _TRACE_MEMO:
+        return _TRACE_MEMO[memo_key]
+    key = None
+    if store is not None:
+        key = cache.trace_key(
+            "spec", cell["bench"], cell["n_accesses"], cell["seed"], cell["scale"]
+        )
+        cached = store.get_trace(key)
+        if cached is not None:
+            _TRACE_MEMO[memo_key] = cached
+            return cached
+    trace = spec_workloads.make_trace(
+        cell["bench"],
+        n_accesses=cell["n_accesses"],
+        seed=cell["seed"],
+        scale=cell["scale"],
+    )
+    if key is not None:
+        store.put_trace(key, trace)
+    _TRACE_MEMO[memo_key] = trace
+    return trace
+
+
+def simulate_sweep_cell(cell: Cell) -> SimulationResult:
+    """Run one sweep cell: disk-cache lookup, else simulate (and store)."""
+    store = cache.get_cache()
+    key = None
+    if store is not None:
+        try:
+            fingerprint = cache.spec_fingerprint(cell["spec"])
+        except cache.UncacheableSpec:
+            fingerprint = None
+        if fingerprint is not None:
+            key = cache.run_key(
+                namespace="sweep",
+                workload={
+                    "suite": "spec",
+                    "bench": cell["bench"],
+                    "n_accesses": cell["n_accesses"],
+                    "seed": cell["seed"],
+                    "scale": cell["scale"],
+                },
+                prefetcher=fingerprint,
+                machine=cell["machine"],
+                degree=cell["degree"],
+                warmup=cell["warmup"],
+            )
+            hit = store.get_result(key)
+            if hit is not None:
+                if hit.manifest is not None:
+                    RUN_LOG.append(hit.manifest)
+                return hit
+    trace = _sweep_trace(cell, store)
+    result = simulate(
+        trace,
+        cell["spec"],
+        machine=cell["machine"],
+        warmup_accesses=cell["warmup"],
+        degree=cell["degree"],
+    )
+    if key is not None:
+        store.put_result(key, result)
+    return result
+
+
+def _run_task(cell: Cell):
+    """Execute one cell in the current process."""
+    task = cell["task"]
+    if task == "sweep":
+        return simulate_sweep_cell(cell)
+    if task == "run_single":
+        from repro.experiments import common  # lazy: common imports us
+
+        return common.run_single(**cell["kwargs"])
+    raise ValueError(f"unknown cell task {task!r}")
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _execute(payload: Cell) -> Dict[str, object]:
+    """Worker entry point: configure cache/obs locally, run, dump obs."""
+    from repro import obs as obs_mod
+
+    if payload.get("cache_dir"):
+        cache.configure(payload["cache_dir"])
+    if not payload.get("obs"):
+        # A forked worker inherits a copy of the parent's session; writes
+        # to it would be silently lost, so make the state explicit.
+        obs_mod.disable()
+        return {"result": _run_task(payload), "obs": None}
+    session = obs_mod.enable()
+    try:
+        result = _run_task(payload)
+        dump = {
+            "metrics": session.registry.dump_typed(),
+            "events": [e.to_dict() for e in session.events.events()],
+            "epochs": list(session.sampler.rows),
+            "manifests": [m.to_dict() for m in session.manifests],
+        }
+    finally:
+        obs_mod.disable()
+    return {"result": result, "obs": dump}
+
+
+def _merge_obs(session, dump: Dict[str, object]) -> None:
+    """Fold one worker's observability dump into the parent session."""
+    session.registry.merge_typed(dump["metrics"])
+    for event in dump["events"]:
+        fields = dict(event)
+        fields.pop("seq", None)
+        category = fields.pop("category")
+        severity = fields.pop("severity")
+        session.events.emit(category, severity, **fields)
+    for row in dump["epochs"]:
+        session.sampler.sample(**row)
+    for manifest in dump["manifests"]:
+        session.manifests.append(RunManifest.from_dict(manifest))
+
+
+def _log_manifests(result) -> None:
+    """Replicate a parallel result's manifest into this process's log."""
+    manifest = getattr(result, "manifest", None)
+    if manifest is not None:
+        RUN_LOG.append(manifest)
+
+
+# -- the front door ----------------------------------------------------------
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    n_jobs: Optional[int] = None,
+    cache_dir=None,
+) -> List[object]:
+    """Execute ``cells``, returning their results in input order.
+
+    ``n_jobs=None`` uses :func:`default_jobs` (``REPRO_JOBS``, else
+    cores - 1); ``n_jobs=1`` runs serially in-process, which is also the
+    fallback when any cell cannot cross a process boundary.
+    ``cache_dir`` configures the process-wide disk cache for this and
+    all subsequent lookups (workers receive it explicitly).
+    """
+    if cache_dir is not None:
+        cache.configure(cache_dir)
+    n_jobs = default_jobs() if n_jobs is None else max(1, int(n_jobs))
+    if n_jobs > 1 and not all(_parallel_safe(cell) for cell in cells):
+        n_jobs = 1
+    if n_jobs == 1 or len(cells) <= 1:
+        return [_run_task(cell) for cell in cells]
+
+    store = cache.get_cache()
+    session = get_session()
+    payloads = [
+        dict(
+            cell,
+            cache_dir=str(store.root) if store is not None else None,
+            obs=session is not None,
+        )
+        for cell in cells
+    ]
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(cells))) as pool:
+        outputs = list(pool.map(_execute, payloads))
+
+    results: List[object] = []
+    for output in outputs:  # submission order == input order
+        result = output["result"]
+        _log_manifests(result)
+        if session is not None and output["obs"] is not None:
+            _merge_obs(session, output["obs"])
+        results.append(result)
+    return results

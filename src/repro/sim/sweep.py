@@ -11,7 +11,15 @@ CSV.  Used by several experiment harnesses and handy interactively::
         prefetchers={"bo": "bo", "triage": TriageConfig(...)},
         n_accesses=60_000,
         scale=4,
+        n_jobs=4,                      # fan cells over worker processes
+        cache_dir="results/cache",     # reuse results across invocations
     )
+
+Cells (every baseline and every configuration run) execute through
+:mod:`repro.sim.parallel`, so ``n_jobs > 1`` fans them over a process
+pool and ``cache_dir`` (or the ambient ``REPRO_CACHE_DIR``) adds a
+persistent disk tier -- both without changing a single reported number
+relative to the serial, uncached path.
 """
 
 from __future__ import annotations
@@ -19,11 +27,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.sim import parallel
 from repro.sim.config import MachineConfig
-from repro.sim.factory import PrefetcherSpec, make_prefetcher
-from repro.sim.single_core import simulate
+from repro.sim.factory import PrefetcherSpec
 from repro.sim.stats import SimulationResult
-from repro.workloads import spec
 
 
 @dataclass
@@ -72,32 +79,61 @@ def sweep(
     machine: Optional[MachineConfig] = None,
     warmup_fraction: float = 1 / 3,
     degree: int = 1,
+    n_jobs: Optional[int] = None,
+    cache_dir=None,
 ) -> List[SweepRecord]:
     """Run every (benchmark x prefetcher) combination.
 
     Each configuration gets a *fresh* prefetcher instance (specs that are
     already-built instances are reused across benchmarks and therefore
     carry state -- pass names/configs/factories to avoid that).
+
+    ``n_jobs`` fans the grid's cells over worker processes
+    (``None`` reads ``REPRO_JOBS`` and defaults to serial; results are
+    bit-identical to ``n_jobs=1``).  Cells whose spec is an
+    already-built instance or a factory callable always run in-process.
+    ``cache_dir`` enables the persistent result/trace cache for this and
+    later invocations (``None`` keeps whatever ``repro.cache`` is
+    already configured with, including ``REPRO_CACHE_DIR``).
     """
     machine = machine or MachineConfig.scaled(scale)
     warmup = int(n_accesses * warmup_fraction)
-    records: List[SweepRecord] = []
+    if n_jobs is None:
+        n_jobs = parallel.jobs_from_env(default=1)
+
+    cells = []
     for bench in benchmarks:
-        trace = spec.make_trace(bench, n_accesses=n_accesses, seed=seed, scale=scale)
-        baseline = simulate(trace, None, machine=machine, warmup_accesses=warmup)
-        for config_name, prefetcher_spec in prefetchers.items():
-            result = simulate(
-                trace,
-                make_prefetcher(prefetcher_spec, degree=degree),
-                machine=machine,
-                warmup_accesses=warmup,
-                degree=degree,
+        cells.append(
+            parallel.sweep_cell(
+                bench, None, "baseline", n_accesses, seed, scale, machine, warmup
             )
+        )
+        for config_name, prefetcher_spec in prefetchers.items():
+            cells.append(
+                parallel.sweep_cell(
+                    bench,
+                    prefetcher_spec,
+                    config_name,
+                    n_accesses,
+                    seed,
+                    scale,
+                    machine,
+                    warmup,
+                    degree=degree,
+                )
+            )
+    results = parallel.run_cells(cells, n_jobs=n_jobs, cache_dir=cache_dir)
+
+    records: List[SweepRecord] = []
+    per_bench = 1 + len(prefetchers)
+    for b, bench in enumerate(benchmarks):
+        baseline = results[b * per_bench]
+        for c, config_name in enumerate(prefetchers):
             records.append(
                 SweepRecord(
                     workload=bench,
                     config=config_name,
-                    result=result,
+                    result=results[b * per_bench + 1 + c],
                     baseline=baseline,
                 )
             )

@@ -1,0 +1,172 @@
+"""Parallel execution must be invisible in the numbers.
+
+Property-style checks that the process-pool sweep engine
+(:mod:`repro.sim.parallel`) and the persistent cache tier change *only*
+wall-clock time, never results:
+
+* ``n_jobs=1`` vs ``n_jobs=4`` produce bit-identical
+  :class:`~repro.sim.stats.SimulationResult` records across seeds and
+  prefetcher types (string names and ``TriageConfig`` specs);
+* a cold-cache run and the warm-cache rerun agree exactly, and the warm
+  rerun makes **zero** ``simulate()`` calls;
+* worker observability (metrics registry) merges into the parent
+  session deterministically -- equal to what the serial run records;
+* ``experiments.common.warm_grid`` primes the memo cache with results
+  identical to the serial ``run_single`` path, and
+  ``common.clear_caches()`` actually empties the process tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cache, obs
+from repro.core.triage import TriageConfig
+from repro.experiments import common
+from repro.sim import parallel
+from repro.sim.sweep import sweep
+
+KB = 1024
+
+#: Small but non-trivial: long enough for warmup + measured epochs.
+N_ACCESSES = 3_000
+
+#: A scale-4 Triage (the factory's full-size configs don't fit the
+#: scaled machine) plus two on-chip prefetchers -- three prefetcher
+#: *types* through the parallel path.
+TRIAGE = TriageConfig(
+    metadata_capacity=(1024 * KB) // 4,
+    capacities=(0, (512 * KB) // 4, (1024 * KB) // 4),
+)
+GRID = {"bo": "bo", "triage": TRIAGE, "sms": "sms"}
+BENCHES = ["mcf", "omnetpp"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_state(monkeypatch):
+    """No ambient cache/jobs/obs; process memos reset around each test."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    cache.configure(None)
+    common.clear_caches()
+    obs.disable()
+    yield
+    cache.configure(None)
+    common.clear_caches()
+    obs.disable()
+
+
+def _records_equal(a, b) -> None:
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert left.workload == right.workload
+        assert left.config == right.config
+        assert left.result == right.result, (left.workload, left.config)
+        assert left.baseline == right.baseline, left.workload
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_parallel_sweep_is_bit_identical_to_serial(seed):
+    serial = sweep(BENCHES, GRID, n_accesses=N_ACCESSES, seed=seed, n_jobs=1)
+    common.clear_caches()  # no trace-memo sharing between the two runs
+    fanned = sweep(BENCHES, GRID, n_accesses=N_ACCESSES, seed=seed, n_jobs=4)
+    _records_equal(serial, fanned)
+
+
+def test_instance_specs_fall_back_to_serial_and_still_match():
+    """Unpicklable/stateful specs run in-process even with n_jobs>1."""
+    from repro.prefetchers.best_offset import BestOffsetPrefetcher
+
+    grid = {"bo_factory": lambda: BestOffsetPrefetcher()}
+    serial = sweep(BENCHES, grid, n_accesses=N_ACCESSES, n_jobs=1)
+    common.clear_caches()
+    fanned = sweep(BENCHES, grid, n_accesses=N_ACCESSES, n_jobs=4)
+    _records_equal(serial, fanned)
+
+
+def test_cold_vs_warm_cache_agree_exactly(tmp_path):
+    cold = sweep(
+        BENCHES, GRID, n_accesses=N_ACCESSES, n_jobs=4, cache_dir=tmp_path
+    )
+    common.clear_caches()
+    warm = sweep(
+        BENCHES, GRID, n_accesses=N_ACCESSES, n_jobs=1, cache_dir=tmp_path
+    )
+    _records_equal(cold, warm)
+
+
+def test_warm_cache_run_makes_zero_simulate_calls(tmp_path, monkeypatch):
+    sweep(BENCHES, GRID, n_accesses=N_ACCESSES, n_jobs=1, cache_dir=tmp_path)
+    common.clear_caches()
+
+    calls = []
+    real = parallel.simulate
+
+    def counting_simulate(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(parallel, "simulate", counting_simulate)
+    warm = sweep(
+        BENCHES, GRID, n_accesses=N_ACCESSES, n_jobs=1, cache_dir=tmp_path
+    )
+    assert calls == []  # every cell (baselines included) came from disk
+    assert len(warm) == len(BENCHES) * len(GRID)
+    store = cache.get_cache()
+    assert store.hits >= len(BENCHES) * (len(GRID) + 1)
+
+
+def test_worker_observability_merges_deterministically():
+    dynamic = TriageConfig(
+        metadata_capacity=(1024 * KB) // 4,
+        capacities=(0, (512 * KB) // 4, (1024 * KB) // 4),
+        dynamic=True,
+        epoch_accesses=500,
+    )
+    grid = {"bo": "bo", "triage": dynamic}
+
+    session = obs.enable()
+    sweep(["mcf"], grid, n_accesses=N_ACCESSES, n_jobs=1)
+    serial_metrics = session.registry.as_dict()
+    serial_epochs = len(session.sampler.rows)
+    serial_manifests = len(session.manifests)
+    obs.disable()
+    common.clear_caches()
+
+    session = obs.enable()
+    sweep(["mcf"], grid, n_accesses=N_ACCESSES, n_jobs=3)
+    assert session.registry.as_dict() == serial_metrics
+    assert len(session.sampler.rows) == serial_epochs
+    assert len(session.manifests) == serial_manifests
+    obs.disable()
+
+
+@pytest.mark.parametrize("prefetcher", ["none", "bo", "triage_dynamic"])
+def test_warm_grid_matches_serial_run_single(prefetcher):
+    common.warm_grid(["mcf"], [prefetcher], n=N_ACCESSES, n_jobs=2)
+    warmed = common.run_single("mcf", prefetcher, n=N_ACCESSES)
+
+    common.clear_caches()
+    serial = common.run_single("mcf", prefetcher, n=N_ACCESSES)
+    assert warmed == serial
+
+
+def test_clear_caches_empties_every_process_memo():
+    common.run_single("mcf", "bo", n=N_ACCESSES)
+    assert common._RUN_CACHE and common._TRACE_CACHE
+    common.clear_caches()
+    assert not common._RUN_CACHE
+    assert not common._TRACE_CACHE
+    assert not common._MIX_CACHE
+    assert not parallel._TRACE_MEMO
+
+
+def test_run_cells_preserves_input_order():
+    cells = [
+        parallel.run_single_cell(
+            bench=bench, prefetcher="bo", n=N_ACCESSES, seed=1
+        )
+        for bench in ("mcf", "omnetpp", "libquantum")
+    ]
+    results = parallel.run_cells(cells, n_jobs=3)
+    assert [r.workload for r in results] == ["mcf", "omnetpp", "libquantum"]
