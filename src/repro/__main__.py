@@ -13,6 +13,13 @@ Subcommands:
                                            -- fan simulation cells over 8
                                               worker processes and keep a
                                               persistent result/trace cache
+* ``python -m repro run fig05 --jobs 8 --cache-dir results/cache \\
+      --retries 3 --cell-timeout 120 --resume``
+                                           -- resilient run: retry failed
+                                              cells, bound each cell's wall
+                                              clock, and resume an
+                                              interrupted grid from its
+                                              checkpoint journal
 * ``python -m repro report DIR``           -- render a flushed obs directory
 * ``python -m repro profile fig05``        -- run with wall-time attribution
 * ``python -m repro cache stats|clear``    -- inspect / empty the on-disk
@@ -97,6 +104,22 @@ def main(argv=None) -> int:
         help="persistent result/trace cache directory "
         "(default: off; also settable via REPRO_CACHE_DIR)",
     )
+    run_parser.add_argument(
+        "--retries", type=int, metavar="N", default=None,
+        help="re-run a failed/timed-out simulation cell up to N times "
+        "with backoff (default: 2; also settable via REPRO_RETRIES)",
+    )
+    run_parser.add_argument(
+        "--cell-timeout", type=float, metavar="SECONDS", default=None,
+        help="per-cell wall-clock budget for parallel runs; a cell over "
+        "budget is abandoned and retried (default: none; also settable "
+        "via REPRO_CELL_TIMEOUT)",
+    )
+    run_parser.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already checkpointed by an interrupted run "
+        "(needs --cache-dir/REPRO_CACHE_DIR; also REPRO_RESUME=1)",
+    )
 
     report_parser = sub.add_parser(
         "report", help="render a flushed observability directory as tables"
@@ -166,6 +189,14 @@ def main(argv=None) -> int:
 
         cache.configure(args.cache_dir)
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    # Resilience knobs travel via the environment so the figure
+    # harnesses (and their worker processes) pick them up uniformly.
+    if getattr(args, "retries", None) is not None:
+        os.environ["REPRO_RETRIES"] = str(max(0, args.retries))
+    if getattr(args, "cell_timeout", None) is not None:
+        os.environ["REPRO_CELL_TIMEOUT"] = str(args.cell_timeout)
+    if getattr(args, "resume", False):
+        os.environ["REPRO_RESUME"] = "1"
 
     from repro import obs
 
@@ -186,6 +217,16 @@ def main(argv=None) -> int:
         session = obs.enable(out_dir=out_dir)
     try:
         _run_experiments(selected, args.quick)
+    except KeyboardInterrupt:
+        # Graceful shutdown: completed cells are already journaled and
+        # cached (and the sweep layer flushed obs); tell the user how to
+        # pick the grid back up, then exit with the conventional code.
+        print(
+            "interrupted: completed cells are checkpointed; "
+            "re-run with --resume to continue",
+            file=sys.stderr,
+        )
+        return 130
     finally:
         if session is not None:
             paths = session.flush()

@@ -27,6 +27,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro import faults
 from repro.cache import serialize
 from repro.cache.keys import KEY_SCHEMA_VERSION
 from repro.sim.stats import MultiCoreResult, SimulationResult
@@ -48,6 +49,16 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.errors = 0
+        # Per-key operation counters, so fault-injection decisions
+        # (which are keyed on (site, key, nth-operation)) re-roll on
+        # each touch instead of corrupting the same entry forever.
+        self._op_seq: Dict[str, int] = {}
+
+    def _next_op(self, site: str, key: str) -> int:
+        op_key = f"{site}:{key}"
+        seq = self._op_seq.get(op_key, 0)
+        self._op_seq[op_key] = seq + 1
+        return seq
 
     # -- layout ----------------------------------------------------------
 
@@ -105,6 +116,9 @@ class ResultCache:
         }
         path = self.result_path(key)
         _atomic_write_text(path, json.dumps(envelope, sort_keys=True) + "\n")
+        # Chaos harness: a "power cut" may garble the entry just after it
+        # landed; readers treat it as a miss and recompute (tier-1 tested).
+        faults.corrupt_file(path, "cache_corrupt", key, self._next_op("putr", key))
         return path
 
     # -- traces ----------------------------------------------------------
@@ -112,6 +126,7 @@ class ResultCache:
     def get_trace(self, key: str) -> Optional[Trace]:
         path = self.trace_path(key)
         try:
+            faults.fire("trace_io", key, self._next_op("gett", key))
             trace = load_trace(path)
         except FileNotFoundError:
             self.misses += 1
@@ -134,6 +149,7 @@ class ResultCache:
         finally:
             if os.path.exists(tmp):
                 os.unlink(tmp)
+        faults.corrupt_file(path, "cache_corrupt", key, self._next_op("putt", key))
         return path
 
     # -- maintenance -----------------------------------------------------

@@ -265,6 +265,30 @@ def _run_single_disk_key(
     )
 
 
+def run_single_cache_key(
+    bench: str,
+    prefetcher: str,
+    n: Optional[int] = None,
+    seed: int = 1,
+    degree: int = 1,
+    suite: str = "spec",
+    machine: Optional[MachineConfig] = None,
+    charge_metadata_to_llc: bool = True,
+) -> str:
+    """The disk key a :func:`run_single` call's result lands under.
+
+    Mirrors :func:`run_single`'s defaulting exactly (same signature), so
+    the resilience journal can name a cell's cached result without
+    running it.  Raises :class:`repro.cache.UncacheableSpec` for specs
+    with no stable fingerprint.
+    """
+    n = n or N_SINGLE
+    return _run_single_disk_key(
+        suite, bench, prefetcher, n, seed, degree,
+        machine or MACHINE, charge_metadata_to_llc,
+    )
+
+
 def _trace_gen_phase():
     """Scoped ``trace_gen`` profiling phase (no-op without a session)."""
     from contextlib import nullcontext
@@ -351,6 +375,9 @@ def warm_grid(
     degree: int = 1,
     suite: str = "spec",
     n_jobs: Optional[int] = None,
+    retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    resume: Optional[bool] = None,
 ) -> int:
     """Precompute a (benchmark x prefetcher) grid of :func:`run_single`.
 
@@ -361,6 +388,12 @@ def warm_grid(
     requests a serial run (the harness loop computes the same cells
     lazily, so skipping here avoids doing the work twice).  Returns the
     number of cells actually computed.
+
+    ``retries``/``cell_timeout``/``resume`` feed the resilience layer
+    (:mod:`repro.resilience`); left as ``None`` they follow
+    ``REPRO_RETRIES``/``REPRO_CELL_TIMEOUT``/``REPRO_RESUME``, which is
+    how the figure harnesses inherit the CLI's ``--retries`` /
+    ``--cell-timeout`` / ``--resume`` flags.
     """
     from repro.sim import parallel
 
@@ -389,7 +422,14 @@ def warm_grid(
             )
     if not cells:
         return 0
-    for key, result in zip(keys, parallel.run_cells(cells, n_jobs=n_jobs)):
+    results = parallel.run_cells(
+        cells,
+        n_jobs=n_jobs,
+        retries=retries,
+        cell_timeout=cell_timeout,
+        resume=resume,
+    )
+    for key, result in zip(keys, results):
         _RUN_CACHE[key] = result
     return len(cells)
 

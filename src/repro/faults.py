@@ -1,0 +1,236 @@
+"""Deterministic, seeded fault injection for the resilience test harness.
+
+Real sweep fleets die in boring ways -- a worker OOMs, a cache entry is
+truncated by a power cut, a trace read hits a flaky filesystem, a
+payload will not pickle.  ``repro.faults`` lets tests (and the CI chaos
+leg) inject exactly those failures at configurable rates, **without any
+randomness across runs**: every fire/no-fire decision is a pure function
+of ``(seed, site, token, attempt)``, so a chaos run is as reproducible
+as a clean one.
+
+Sites (where the harness consults the plan):
+
+``worker_crash``
+    The worker process hard-exits (``os._exit``) before returning its
+    result, producing a ``BrokenProcessPool`` in the parent.  In serial
+    (in-process) execution the same site raises :class:`InjectedFault`
+    instead -- killing the caller's process would not be a test.
+``cell_timeout``
+    The worker sleeps ``REPRO_FAULT_SLEEP`` seconds (default 0.5) before
+    running its cell, so a parent-enforced per-cell timeout trips.
+``cache_corrupt``
+    A just-written cache entry is truncated to garbage, exercising the
+    corruption-as-miss read path.
+``trace_io``
+    A cache trace read raises ``OSError`` mid-lookup.
+``pickle``
+    Payload submission raises :class:`InjectedFault` in the *parent*,
+    standing in for an unpicklable payload.
+
+Configuration -- API or environment::
+
+    faults.configure("worker_crash:0.2,cache_corrupt:0.1", seed=7)
+    # or: REPRO_FAULTS="worker_crash:0.2,cache_corrupt:0.1" REPRO_FAULTS_SEED=7
+
+Each clause is ``site:rate[:max_attempt]``.  ``rate`` is the fire
+probability per decision; ``max_attempt`` (default
+:data:`DEFAULT_MAX_ATTEMPT`) stops the site firing for a given operation
+once its attempt counter reaches that value, so any harness retrying at
+least that many times is *guaranteed* to converge.  Injection is wholly
+inert unless configured -- every hook is one ``_PLAN is None`` check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_MAX_ATTEMPT",
+    "FaultPlan",
+    "InjectedFault",
+    "active",
+    "configure",
+    "fire",
+    "get_plan",
+    "mark_worker",
+    "plan_from_env",
+    "reset",
+    "should_fire",
+]
+
+#: After this many attempts at one operation, a site stops firing (so a
+#: retrying harness always converges).  Override per site in the spec.
+DEFAULT_MAX_ATTEMPT = 2
+
+#: Sites the parser accepts; a typo'd site name should fail loudly.
+SITES = ("worker_crash", "cell_timeout", "cache_corrupt", "trace_io", "pickle")
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by the fault-injection framework."""
+
+    def __init__(self, site: str, token: str):
+        super().__init__(f"injected fault at site {site!r} (token {token})")
+        self.site = site
+        self.token = token
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    rate: float
+    max_attempt: int
+
+
+class FaultPlan:
+    """A parsed fault specification plus the deterministic decision rule."""
+
+    def __init__(self, sites: Dict[str, SiteSpec], seed: int = 0):
+        self.sites = dict(sites)
+        self.seed = int(seed)
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse ``"site:rate[:max_attempt],..."`` into a plan."""
+        sites: Dict[str, SiteSpec] = {}
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            parts = clause.split(":")
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"bad fault clause {clause!r}; want site:rate[:max_attempt]"
+                )
+            site = parts[0].strip()
+            if site not in SITES:
+                raise ValueError(
+                    f"unknown fault site {site!r}; want one of {SITES}"
+                )
+            rate = float(parts[1])
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate {rate} out of [0, 1] for {site!r}")
+            max_attempt = int(parts[2]) if len(parts) == 3 else DEFAULT_MAX_ATTEMPT
+            sites[site] = SiteSpec(rate=rate, max_attempt=max_attempt)
+        return cls(sites, seed=seed)
+
+    def to_spec(self) -> str:
+        """Render back to the ``site:rate[:max_attempt]`` string form."""
+        return ",".join(
+            f"{site}:{spec.rate}:{spec.max_attempt}"
+            for site, spec in sorted(self.sites.items())
+        )
+
+    def should_fire(self, site: str, token: str, attempt: int = 0) -> bool:
+        """Deterministic fire decision for one (site, operation, attempt).
+
+        The decision is ``H(seed, site, token, attempt) < rate`` with H a
+        SHA-256-derived uniform in [0, 1): the same inputs always give
+        the same answer, and distinct attempts re-roll independently.
+        """
+        spec = self.sites.get(site)
+        if spec is None or spec.rate <= 0.0:
+            return False
+        if attempt >= spec.max_attempt:
+            return False
+        digest = hashlib.sha256(
+            f"{self.seed}\x00{site}\x00{token}\x00{attempt}".encode("utf-8")
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < spec.rate
+
+
+#: The process-wide plan; ``None`` (the default) disarms every hook.
+_PLAN: Optional[FaultPlan] = None
+#: Set by worker entry points so process-killing sites know it is safe.
+_IN_WORKER = False
+#: Tally of fired faults by site, for tests and reports.
+FIRED: Dict[str, int] = {}
+
+
+def configure(spec: Optional[str], seed: int = 0) -> Optional[FaultPlan]:
+    """Install (and return) a process-wide plan; ``None``/"" disarms."""
+    global _PLAN
+    _PLAN = FaultPlan.parse(spec, seed=seed) if spec else None
+    return _PLAN
+
+
+def reset() -> None:
+    """Disarm injection and clear the fired tally (test teardown)."""
+    global _PLAN
+    _PLAN = None
+    FIRED.clear()
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """A plan from ``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED``, or ``None``."""
+    spec = os.environ.get("REPRO_FAULTS", "")
+    if not spec:
+        return None
+    seed = int(os.environ.get("REPRO_FAULTS_SEED", "0") or 0)
+    return FaultPlan.parse(spec, seed=seed)
+
+
+def get_plan() -> Optional[FaultPlan]:
+    """The armed plan: :func:`configure`'s, else the environment's."""
+    if _PLAN is not None:
+        return _PLAN
+    return plan_from_env()
+
+
+def active() -> bool:
+    return get_plan() is not None
+
+
+def mark_worker(flag: bool = True) -> None:
+    """Declare this process a pool worker (enables hard-exit sites)."""
+    global _IN_WORKER
+    _IN_WORKER = flag
+
+
+def in_worker() -> bool:
+    return _IN_WORKER
+
+
+def should_fire(site: str, token: str, attempt: int = 0) -> bool:
+    """Consult the armed plan (and tally); ``False`` when disarmed."""
+    plan = get_plan()
+    if plan is None:
+        return False
+    if not plan.should_fire(site, token, attempt):
+        return False
+    FIRED[site] = FIRED.get(site, 0) + 1
+    return True
+
+
+def fire(site: str, token: str, attempt: int = 0) -> None:
+    """Act on a fire decision (no-op when the plan says no).
+
+    ``worker_crash`` hard-exits pool workers and raises in-process;
+    ``cell_timeout`` sleeps (the parent's deadline does the failing);
+    every other site raises :class:`InjectedFault`.
+    """
+    if not should_fire(site, token, attempt):
+        return
+    if site == "worker_crash" and in_worker():
+        os._exit(17)
+    if site == "cell_timeout":
+        import time
+
+        time.sleep(float(os.environ.get("REPRO_FAULT_SLEEP", "0.5")))
+        return
+    raise InjectedFault(site, token)
+
+
+def corrupt_file(path, site: str, token: str, attempt: int = 0) -> bool:
+    """Truncate ``path`` to garbage if ``site`` fires; returns whether."""
+    if not should_fire(site, token, attempt):
+        return False
+    try:
+        with open(path, "wb") as fh:
+            fh.write(b"\x00corrupt\x00")
+    except OSError:
+        pass
+    return True

@@ -9,11 +9,25 @@ way.  Both paths run the *same* per-cell code
 parallel sweep is bit-identical to a serial one -- the determinism tests
 in ``tests/test_parallel_determinism.py`` pin this down.
 
+Resilience: execution is driven by :mod:`repro.resilience` -- per-cell
+retries with backoff, optional per-cell wall-clock timeouts,
+``BrokenProcessPool`` recovery by pool respawn (re-running only
+unfinished cells, degrading to serial after repeated pool deaths), an
+append-only checkpoint journal under the cache root that ``resume``
+reads to skip already-finished cells, and graceful SIGINT/SIGTERM
+shutdown.  Knobs: ``retries``/``cell_timeout``/``resume`` arguments,
+``REPRO_RETRIES``/``REPRO_CELL_TIMEOUT``/``REPRO_RESUME`` ambiently.
+Every recovery emits a ``resilience.*`` trace event; the seeded chaos
+harness in :mod:`repro.faults` (``REPRO_FAULTS``) exercises each path
+deterministically.  See ``docs/resilience.md``.
+
 Caching: each cell consults the process cache
 (:func:`repro.cache.get_cache`) before simulating -- generated traces
 and finished results both have disk tiers -- so a warm-cache sweep makes
 zero ``simulate()`` calls.  Workers receive the parent's cache root
 explicitly in their payload (no reliance on fork-time inheritance).
+The in-process trace memo is a small LRU (:data:`_TRACE_MEMO`), so long
+multi-benchmark sessions do not grow memory without bound.
 
 Observability: when the parent has an active
 :class:`~repro.obs.ObsSession`, each worker runs its cell under a fresh
@@ -28,10 +42,11 @@ die with the worker), keeping bench provenance files complete.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence
 
-from repro import cache
+from repro import cache, faults, resilience
 from repro.core.triage import TriageConfig
 from repro.obs import get_session
 from repro.obs.manifest import RUN_LOG, RunManifest
@@ -41,33 +56,41 @@ from repro.workloads import spec as spec_workloads
 
 Cell = Dict[str, object]
 
+#: Payload bookkeeping keys that are not part of a cell's identity.
+_TRANSPORT_KEYS = frozenset(
+    {"cache_dir", "obs", "faults", "faults_seed", "fault_token", "fault_attempt"}
+)
+
+
+def _jobs_env() -> Optional[int]:
+    """``REPRO_JOBS`` as a positive int, or ``None`` (unset or invalid).
+
+    Invalid, zero or negative values warn once (stderr plus a
+    ``config.invalid_env`` obs event) and are ignored, rather than being
+    silently clamped to 1 as they once were.
+    """
+    value = resilience.positive_env("REPRO_JOBS", int, minimum=1)
+    return int(value) if value is not None else None
+
 
 def default_jobs() -> int:
     """Worker count when none is given: ``REPRO_JOBS``, else cores - 1."""
-    env = os.environ.get("REPRO_JOBS", "")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
+    env = _jobs_env()
+    if env is not None:
+        return env
     return max(1, (os.cpu_count() or 2) - 1)
 
 
 def jobs_from_env(default: int = 1) -> int:
-    """``REPRO_JOBS`` if set, else ``default``.
+    """``REPRO_JOBS`` if set (and valid), else ``default``.
 
     Implicit call sites (figure harnesses, ``sweep()`` without
     ``n_jobs``) use this so they stay serial unless the user opted in
     via ``--jobs`` / the environment; explicit :func:`run_cells` callers
     get the cores-based :func:`default_jobs` instead.
     """
-    env = os.environ.get("REPRO_JOBS", "")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
-    return default
+    env = _jobs_env()
+    return env if env is not None else default
 
 
 # -- cells -------------------------------------------------------------------
@@ -117,14 +140,95 @@ def _parallel_safe(cell: Cell) -> bool:
     return cell["spec"] is None or isinstance(cell["spec"], (str, TriageConfig))
 
 
+def cell_identity(cell: Cell) -> Optional[str]:
+    """A stable content hash naming this cell, or ``None``.
+
+    This is the checkpoint-journal key: two invocations building the
+    same grid produce the same identities, so a resumed run recognises
+    its finished cells.  Cells carrying prefetcher instances or factory
+    callables have no stable identity (mutable state / object identity)
+    and are never journaled.
+    """
+    try:
+        payload = {
+            key: value
+            for key, value in cell.items()
+            if key not in _TRANSPORT_KEYS
+        }
+        return cache.stable_hash({"cell": payload})
+    except cache.UncacheableSpec:
+        return None
+
+
+def _sweep_result_key(cell: Cell) -> Optional[str]:
+    """The disk-cache key a sweep cell's result lands under, or ``None``."""
+    try:
+        fingerprint = cache.spec_fingerprint(cell["spec"])
+    except cache.UncacheableSpec:
+        return None
+    return cache.run_key(
+        namespace="sweep",
+        workload={
+            "suite": "spec",
+            "bench": cell["bench"],
+            "n_accesses": cell["n_accesses"],
+            "seed": cell["seed"],
+            "scale": cell["scale"],
+        },
+        prefetcher=fingerprint,
+        machine=cell["machine"],
+        degree=cell["degree"],
+        warmup=cell["warmup"],
+    )
+
+
+def cell_result_key(cell: Cell) -> Optional[str]:
+    """Where this cell's result is (or will be) cached, or ``None``."""
+    if cell["task"] == "sweep":
+        return _sweep_result_key(cell)
+    if cell["task"] == "run_single":
+        from repro.experiments import common  # lazy: common imports us
+
+        try:
+            return common.run_single_cache_key(**cell["kwargs"])
+        except cache.UncacheableSpec:
+            return None
+    return None
+
+
 # -- per-cell execution (shared by the serial and parallel paths) ------------
+
+
+class _LruMemo(OrderedDict):
+    """A small LRU dict: :meth:`store` evicts the least-recent entries."""
+
+    def __init__(self, maxsize: int = 8):
+        super().__init__()
+        self.maxsize = maxsize
+
+    def lookup(self, key):
+        if key in self:
+            self.move_to_end(key)
+            return self[key]
+        return None
+
+    def store(self, key, value) -> None:
+        self[key] = value
+        self.move_to_end(key)
+        while len(self) > self.maxsize:
+            self.popitem(last=False)
 
 
 #: Process-local trace memo so a sweep generates each workload once per
 #: process even with the disk cache off (cells of one benchmark share
-#: their trace, as the pre-parallel serial loop did).  Cleared by
-#: :func:`clear_trace_memo` / ``experiments.common.clear_caches``.
-_TRACE_MEMO: Dict[tuple, object] = {}
+#: their trace, as the pre-parallel serial loop did).  Bounded (LRU over
+#: (bench, n, seed, scale)) so long multi-benchmark sessions don't grow
+#: without limit; evicted traces are regenerated or re-read from the
+#: disk tier on the next touch.  Cleared by :func:`clear_trace_memo` /
+#: ``experiments.common.clear_caches``.
+_TRACE_MEMO = _LruMemo(
+    maxsize=int(os.environ.get("REPRO_TRACE_MEMO", "") or 8)
+)
 
 
 def clear_trace_memo() -> None:
@@ -134,8 +238,9 @@ def clear_trace_memo() -> None:
 def _sweep_trace(cell: Cell, store):
     """The cell's workload trace: process memo, disk tier, else generate."""
     memo_key = (cell["bench"], cell["n_accesses"], cell["seed"], cell["scale"])
-    if memo_key in _TRACE_MEMO:
-        return _TRACE_MEMO[memo_key]
+    memoed = _TRACE_MEMO.lookup(memo_key)
+    if memoed is not None:
+        return memoed
     key = None
     if store is not None:
         key = cache.trace_key(
@@ -143,7 +248,7 @@ def _sweep_trace(cell: Cell, store):
         )
         cached = store.get_trace(key)
         if cached is not None:
-            _TRACE_MEMO[memo_key] = cached
+            _TRACE_MEMO.store(memo_key, cached)
             return cached
     trace = spec_workloads.make_trace(
         cell["bench"],
@@ -153,7 +258,7 @@ def _sweep_trace(cell: Cell, store):
     )
     if key is not None:
         store.put_trace(key, trace)
-    _TRACE_MEMO[memo_key] = trace
+    _TRACE_MEMO.store(memo_key, trace)
     return trace
 
 
@@ -162,25 +267,8 @@ def simulate_sweep_cell(cell: Cell) -> SimulationResult:
     store = cache.get_cache()
     key = None
     if store is not None:
-        try:
-            fingerprint = cache.spec_fingerprint(cell["spec"])
-        except cache.UncacheableSpec:
-            fingerprint = None
-        if fingerprint is not None:
-            key = cache.run_key(
-                namespace="sweep",
-                workload={
-                    "suite": "spec",
-                    "bench": cell["bench"],
-                    "n_accesses": cell["n_accesses"],
-                    "seed": cell["seed"],
-                    "scale": cell["scale"],
-                },
-                prefetcher=fingerprint,
-                machine=cell["machine"],
-                degree=cell["degree"],
-                warmup=cell["warmup"],
-            )
+        key = _sweep_result_key(cell)
+        if key is not None:
             hit = store.get_result(key)
             if hit is not None:
                 if hit.manifest is not None:
@@ -214,17 +302,29 @@ def _run_task(cell: Cell):
 # -- worker side -------------------------------------------------------------
 
 
+def _fire_cell_faults(payload: Cell) -> None:
+    """Consult the armed fault plan at the per-cell sites."""
+    token = str(payload.get("fault_token") or "")
+    attempt = int(payload.get("fault_attempt") or 0)
+    faults.fire("worker_crash", token, attempt)
+    faults.fire("cell_timeout", token, attempt)
+
+
 def _execute(payload: Cell) -> Dict[str, object]:
-    """Worker entry point: configure cache/obs locally, run, dump obs."""
+    """Worker entry point: configure cache/obs/faults locally, run, dump."""
     from repro import obs as obs_mod
 
+    if payload.get("faults"):
+        faults.configure(payload["faults"], seed=int(payload.get("faults_seed") or 0))
+    faults.mark_worker()
+    _fire_cell_faults(payload)
     if payload.get("cache_dir"):
         cache.configure(payload["cache_dir"])
     if not payload.get("obs"):
         # A forked worker inherits a copy of the parent's session; writes
         # to it would be silently lost, so make the state explicit.
         obs_mod.disable()
-        return {"result": _run_task(payload), "obs": None}
+        return {"result": _run_task(payload), "obs": None, "local": False}
     session = obs_mod.enable()
     try:
         result = _run_task(payload)
@@ -236,7 +336,20 @@ def _execute(payload: Cell) -> Dict[str, object]:
         }
     finally:
         obs_mod.disable()
-    return {"result": result, "obs": dump}
+    return {"result": result, "obs": dump, "local": False}
+
+
+def _run_local(payload: Cell, attempt: int = 0) -> Dict[str, object]:
+    """In-process twin of :func:`_execute` (serial and degraded modes).
+
+    Runs under the parent's own cache/obs state, so no dump/merge is
+    needed; ``local: True`` tells :func:`run_cells` that manifests and
+    metrics were already recorded in-process.  The ``worker_crash``
+    fault site raises here instead of killing the process.
+    """
+    payload = dict(payload, fault_attempt=attempt)
+    _fire_cell_faults(payload)
+    return {"result": _run_task(payload), "obs": None, "local": True}
 
 
 def _merge_obs(session, dump: Dict[str, object]) -> None:
@@ -264,45 +377,154 @@ def _log_manifests(result) -> None:
 # -- the front door ----------------------------------------------------------
 
 
+def _resume_flag(resume: Optional[bool]) -> bool:
+    if resume is not None:
+        return bool(resume)
+    return os.environ.get("REPRO_RESUME", "") not in ("", "0")
+
+
 def run_cells(
     cells: Sequence[Cell],
     n_jobs: Optional[int] = None,
     cache_dir=None,
+    retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    resume: Optional[bool] = None,
+    journal_path=None,
 ) -> List[object]:
-    """Execute ``cells``, returning their results in input order.
+    """Execute ``cells``, resiliently, returning results in input order.
 
     ``n_jobs=None`` uses :func:`default_jobs` (``REPRO_JOBS``, else
     cores - 1); ``n_jobs=1`` runs serially in-process, which is also the
-    fallback when any cell cannot cross a process boundary.
-    ``cache_dir`` configures the process-wide disk cache for this and
-    all subsequent lookups (workers receive it explicitly).
+    fallback when any cell cannot cross a process boundary (warned
+    loudly -- see below).  ``cache_dir`` configures the process-wide
+    disk cache for this and all subsequent lookups (workers receive it
+    explicitly).
+
+    ``retries`` / ``cell_timeout`` override the ambient
+    ``REPRO_RETRIES`` / ``REPRO_CELL_TIMEOUT`` retry policy
+    (:class:`repro.resilience.RetryPolicy`).  When a disk cache is
+    configured, every completed cell is checkpointed to an append-only
+    journal under the cache root; ``resume=True`` (or ``REPRO_RESUME=1``)
+    re-reads it so an interrupted grid skips finished cells entirely
+    (``resilience.resume_skip`` events mark each skip).  SIGINT/SIGTERM
+    interrupt gracefully: finished cells stay journaled and cached, the
+    active obs session is flushed (when it has an output directory), and
+    :class:`repro.resilience.SweepInterrupted` -- a
+    ``KeyboardInterrupt`` -- propagates.
     """
     if cache_dir is not None:
         cache.configure(cache_dir)
     n_jobs = default_jobs() if n_jobs is None else max(1, int(n_jobs))
+    policy = resilience.RetryPolicy.from_env(
+        retries=retries, cell_timeout=cell_timeout
+    )
+    session = get_session()
+    emit = session.events.emit if session is not None else None
+
     if n_jobs > 1 and not all(_parallel_safe(cell) for cell in cells):
+        unsafe = sum(1 for cell in cells if not _parallel_safe(cell))
+        print(
+            f"warning: {unsafe} of {len(cells)} sweep cell(s) carry prefetcher "
+            "instances or factory callables that cannot cross a process "
+            "boundary; running the whole grid serially in-process "
+            "(pass names or TriageConfigs to parallelise)",
+            file=sys.stderr,
+        )
+        if emit is not None:
+            emit(
+                "resilience.serial_fallback",
+                "warn",
+                reason="unpicklable_spec",
+                unsafe_cells=unsafe,
+                total_cells=len(cells),
+            )
         n_jobs = 1
-    if n_jobs == 1 or len(cells) <= 1:
-        return [_run_task(cell) for cell in cells]
 
     store = cache.get_cache()
-    session = get_session()
+    n = len(cells)
+    identities = [cell_identity(cell) for cell in cells]
+    result_keys = [
+        cell_result_key(cell) if store is not None else None for cell in cells
+    ]
+
+    journal = None
+    if store is not None and any(identities):
+        if journal_path is None:
+            grid_key = cache.stable_hash(
+                [identity or f"anon:{i}" for i, identity in enumerate(identities)]
+            )
+            journal_path = resilience.SweepJournal.default_path(store.root, grid_key)
+        journal = resilience.SweepJournal(journal_path)
+
+    results: List[object] = [None] * n
+    prefilled = [False] * n
+    if _resume_flag(resume) and journal is not None:
+        entries = journal.load()
+        for i in range(n):
+            identity = identities[i]
+            if identity is None or identity not in entries:
+                continue
+            key = entries[identity].get("result_key") or result_keys[i]
+            hit = store.get_result(key) if key else None
+            if hit is None:
+                continue  # journaled but evicted/uncached: re-run it
+            results[i] = hit
+            prefilled[i] = True
+            _log_manifests(hit)
+            if emit is not None:
+                emit("resilience.resume_skip", "info", cell=i, cell_key=identity)
+
+    todo = [i for i in range(n) if not prefilled[i]]
+    if not todo:
+        return results
+
+    plan = faults.get_plan()
     payloads = [
         dict(
-            cell,
+            cells[i],
             cache_dir=str(store.root) if store is not None else None,
             obs=session is not None,
+            faults=plan.to_spec() if plan is not None else None,
+            faults_seed=plan.seed if plan is not None else 0,
         )
-        for cell in cells
+        for i in todo
     ]
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(cells))) as pool:
-        outputs = list(pool.map(_execute, payloads))
+    tokens = [identities[i] or f"cell:{i}" for i in todo]
 
-    results: List[object] = []
-    for output in outputs:  # submission order == input order
+    def on_complete(position: int, output: object) -> None:
+        index = todo[position]
+        if journal is not None and identities[index] is not None:
+            journal.record(identities[index], result_keys[index])
+
+    try:
+        outputs = resilience.run_resilient(
+            payloads,
+            _execute,
+            _run_local,
+            n_jobs=min(n_jobs, len(todo)) if n_jobs > 1 else 1,
+            policy=policy,
+            emit=emit,
+            on_complete=on_complete,
+            fault_tokens=tokens,
+        )
+    except resilience.SweepInterrupted:
+        # Finished cells are already journaled and cached; flush the obs
+        # session so partial metrics/events/manifests survive the exit.
+        if session is not None and session.out_dir is not None:
+            try:
+                session.flush()
+            except Exception:
+                pass
+        raise
+
+    for position, index in enumerate(todo):
+        output = outputs[position]
         result = output["result"]
+        results[index] = result
+        if output.get("local"):
+            continue  # in-process runs already recorded obs + manifests
         _log_manifests(result)
         if session is not None and output["obs"] is not None:
             _merge_obs(session, output["obs"])
-        results.append(result)
     return results

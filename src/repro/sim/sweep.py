@@ -81,6 +81,9 @@ def sweep(
     degree: int = 1,
     n_jobs: Optional[int] = None,
     cache_dir=None,
+    retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    resume: Optional[bool] = None,
 ) -> List[SweepRecord]:
     """Run every (benchmark x prefetcher) combination.
 
@@ -95,6 +98,14 @@ def sweep(
     ``cache_dir`` enables the persistent result/trace cache for this and
     later invocations (``None`` keeps whatever ``repro.cache`` is
     already configured with, including ``REPRO_CACHE_DIR``).
+
+    ``retries``/``cell_timeout`` override the ambient resilience policy
+    (``REPRO_RETRIES``/``REPRO_CELL_TIMEOUT``): failed or timed-out
+    cells are retried with backoff, dead worker pools are respawned, and
+    completed cells are checkpointed to a journal under the cache root.
+    ``resume=True`` (or ``REPRO_RESUME=1``) skips journaled cells whose
+    results are still cached, so an interrupted grid picks up where it
+    stopped instead of restarting.  See ``docs/resilience.md``.
     """
     machine = machine or MachineConfig.scaled(scale)
     warmup = int(n_accesses * warmup_fraction)
@@ -122,7 +133,14 @@ def sweep(
                     degree=degree,
                 )
             )
-    results = parallel.run_cells(cells, n_jobs=n_jobs, cache_dir=cache_dir)
+    results = parallel.run_cells(
+        cells,
+        n_jobs=n_jobs,
+        cache_dir=cache_dir,
+        retries=retries,
+        cell_timeout=cell_timeout,
+        resume=resume,
+    )
 
     records: List[SweepRecord] = []
     per_bench = 1 + len(prefetchers)

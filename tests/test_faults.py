@@ -1,0 +1,131 @@
+"""The fault-injection framework must be deterministic and inert-by-default.
+
+Chaos testing is only trustworthy if the chaos is reproducible: every
+fire/no-fire decision of :mod:`repro.faults` is a pure function of
+``(seed, site, token, attempt)``, sites stop firing once an operation's
+attempt counter reaches the clause's ``max_attempt`` (so retrying
+harnesses provably converge), and with no plan configured every hook is
+a no-op.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _disarmed(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestPlanParsing:
+    def test_parse_rates_and_max_attempts(self):
+        plan = faults.FaultPlan.parse(
+            "worker_crash:0.2,cache_corrupt:0.1:5", seed=3
+        )
+        assert plan.sites["worker_crash"].rate == 0.2
+        assert plan.sites["worker_crash"].max_attempt == faults.DEFAULT_MAX_ATTEMPT
+        assert plan.sites["cache_corrupt"].max_attempt == 5
+        assert plan.seed == 3
+
+    def test_spec_round_trips(self):
+        plan = faults.FaultPlan.parse("pickle:0.5:3,trace_io:0.25", seed=9)
+        again = faults.FaultPlan.parse(plan.to_spec(), seed=plan.seed)
+        assert again.sites == plan.sites
+
+    @pytest.mark.parametrize(
+        "bad", ["nonsense:0.5", "worker_crash", "worker_crash:1.5", "worker_crash:x"]
+    )
+    def test_bad_clauses_raise(self, bad):
+        with pytest.raises(ValueError):
+            faults.FaultPlan.parse(bad)
+
+    def test_empty_clauses_are_skipped(self):
+        plan = faults.FaultPlan.parse("worker_crash:0.5,,")
+        assert set(plan.sites) == {"worker_crash"}
+
+
+class TestDeterminism:
+    def test_same_inputs_same_decision(self):
+        plan = faults.FaultPlan.parse("worker_crash:0.5", seed=1)
+        decisions = [plan.should_fire("worker_crash", f"t{i}") for i in range(64)]
+        again = [plan.should_fire("worker_crash", f"t{i}") for i in range(64)]
+        assert decisions == again
+        assert any(decisions) and not all(decisions)  # rate is actually ~0.5
+
+    def test_seed_changes_decisions(self):
+        one = faults.FaultPlan.parse("worker_crash:0.5", seed=1)
+        two = faults.FaultPlan.parse("worker_crash:0.5", seed=2)
+        tokens = [f"t{i}" for i in range(64)]
+        assert [one.should_fire("worker_crash", t) for t in tokens] != [
+            two.should_fire("worker_crash", t) for t in tokens
+        ]
+
+    def test_rate_zero_never_fires_rate_one_always(self):
+        plan = faults.FaultPlan.parse("pickle:0.0,trace_io:1.0")
+        assert not any(plan.should_fire("pickle", f"t{i}") for i in range(32))
+        assert all(plan.should_fire("trace_io", f"t{i}") for i in range(32))
+
+    def test_max_attempt_guarantees_convergence(self):
+        plan = faults.FaultPlan.parse("worker_crash:1.0:2")
+        assert plan.should_fire("worker_crash", "cell", attempt=0)
+        assert plan.should_fire("worker_crash", "cell", attempt=1)
+        assert not plan.should_fire("worker_crash", "cell", attempt=2)
+        assert not plan.should_fire("worker_crash", "cell", attempt=99)
+
+    def test_unconfigured_site_never_fires(self):
+        plan = faults.FaultPlan.parse("worker_crash:1.0")
+        assert not plan.should_fire("pickle", "t")
+
+
+class TestProcessPlan:
+    def test_disarmed_by_default(self):
+        assert faults.get_plan() is None
+        assert not faults.active()
+        assert not faults.should_fire("worker_crash", "t")
+        faults.fire("worker_crash", "t")  # no-op, must not raise
+
+    def test_configure_and_reset(self):
+        faults.configure("pickle:1.0:99", seed=4)
+        assert faults.active()
+        with pytest.raises(faults.InjectedFault) as err:
+            faults.fire("pickle", "t")
+        assert err.value.site == "pickle"
+        assert faults.FIRED["pickle"] == 1
+        faults.reset()
+        assert not faults.active()
+        assert faults.FIRED == {}
+
+    def test_env_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "trace_io:1.0:99")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "11")
+        plan = faults.get_plan()
+        assert plan is not None and plan.seed == 11
+        with pytest.raises(faults.InjectedFault):
+            faults.fire("trace_io", "t")
+
+    def test_worker_crash_raises_in_process(self):
+        """Outside a pool worker the crash site raises, never hard-exits."""
+        faults.configure("worker_crash:1.0:99")
+        faults.mark_worker(False)
+        with pytest.raises(faults.InjectedFault):
+            faults.fire("worker_crash", "t")
+
+    def test_corrupt_file_garbles_target(self, tmp_path):
+        faults.configure("cache_corrupt:1.0:99")
+        target = tmp_path / "entry.json"
+        target.write_text('{"ok": true}')
+        assert faults.corrupt_file(target, "cache_corrupt", "k")
+        assert b"corrupt" in target.read_bytes()
+
+    def test_corrupt_file_noop_when_disarmed(self, tmp_path):
+        target = tmp_path / "entry.json"
+        target.write_text('{"ok": true}')
+        assert not faults.corrupt_file(target, "cache_corrupt", "k")
+        assert target.read_text() == '{"ok": true}'

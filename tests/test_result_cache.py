@@ -15,6 +15,12 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
 
 import pytest
 
@@ -302,3 +308,93 @@ class TestCli:
         assert os.environ["REPRO_JOBS"] == "2"
         assert cache.get_cache() is not None
         assert cache.get_cache().root == tmp_path
+
+
+# --------------------------------------------------------------------------
+# Concurrency: the atomic-rename write path must make simultaneous writers
+# and racing readers safe without any locking.
+# --------------------------------------------------------------------------
+
+#: Child-process writer: computes the (deterministic) small result itself,
+#: waits for a start gun so competing writers overlap, then hammers
+#: ``put_result`` on one shared key.
+_WRITER_SCRIPT = textwrap.dedent(
+    """
+    import sys, time
+    from pathlib import Path
+
+    from repro import cache
+    from repro.sim.config import MachineConfig
+    from repro.sim.single_core import simulate
+    from repro.workloads import spec
+
+    root, key, iters = sys.argv[1], sys.argv[2], int(sys.argv[3])
+    store = cache.ResultCache(root)
+    trace = spec.make_trace("mcf", n_accesses=1000, seed=1, scale=4)
+    result = simulate(
+        trace, "bo", machine=MachineConfig.scaled(4), warmup_accesses=333
+    )
+    gun = Path(root) / "go"
+    deadline = time.monotonic() + 30.0
+    while not gun.exists():
+        if time.monotonic() > deadline:
+            sys.exit(3)
+        time.sleep(0.005)
+    for _ in range(iters):
+        store.put_result(key, result)
+    """
+)
+
+
+def _tiny_result():
+    """Same configuration as :data:`_WRITER_SCRIPT` builds in the child."""
+    trace = spec.make_trace("mcf", n_accesses=1000, seed=1, scale=4)
+    return simulate(trace, "bo", machine=_machine(), warmup_accesses=333)
+
+
+def _spawn_writer(root, key, iters):
+    src = Path(cache.__file__).resolve().parents[2]
+    env = dict(os.environ, PYTHONPATH=str(src))
+    for var in ("REPRO_FAULTS", "REPRO_FAULTS_SEED", "REPRO_CACHE_DIR"):
+        env.pop(var, None)
+    return subprocess.Popen(
+        [sys.executable, "-c", _WRITER_SCRIPT, str(root), key, str(iters)],
+        env=env,
+    )
+
+
+class TestConcurrency:
+    def test_two_processes_putting_same_key_both_succeed(self, tmp_path):
+        """Concurrent writers of one key never corrupt the entry."""
+        key = _base_key()
+        writers = [_spawn_writer(tmp_path, key, 100) for _ in range(2)]
+        (tmp_path / "go").touch()  # start gun: maximize write overlap
+        for proc in writers:
+            assert proc.wait(timeout=120) == 0
+        store = cache.ResultCache(tmp_path)
+        assert store.get_result(key) == _tiny_result()
+        assert store.errors == 0
+
+    def test_reader_racing_writer_sees_hit_or_miss_never_exception(
+        self, tmp_path
+    ):
+        """``os.replace`` publication means readers never observe a torn
+        entry: every ``get_result`` during a write storm is either a miss
+        (recompute) or a full, bit-identical hit."""
+        key = _base_key()
+        expected = _tiny_result()
+        store = cache.ResultCache(tmp_path)
+        writer = _spawn_writer(tmp_path, key, 200)
+        (tmp_path / "go").touch()
+        hits = 0
+        try:
+            while writer.poll() is None:
+                loaded = store.get_result(key)  # must not raise
+                if loaded is not None:
+                    assert loaded == expected
+                    hits += 1
+        finally:
+            assert writer.wait(timeout=120) == 0
+        assert store.get_result(key) == expected
+        assert hits >= 1
+        assert store.errors == 0
