@@ -24,6 +24,15 @@ Subcommands:
 * ``python -m repro profile fig05``        -- run with wall-time attribution
 * ``python -m repro cache stats|clear``    -- inspect / empty the on-disk
                                               result cache
+* ``python -m repro bench fig05 --quick --repeats 2``
+                                           -- timed run: KPIs + wall time +
+                                              throughput + fingerprint,
+                                              appended to BENCH_fig05.json
+* ``python -m repro compare BENCH_fig05.json``
+                                           -- diff the last two trajectory
+                                              records (or two files); exits
+                                              non-zero past --kpi-tol /
+                                              --time-tol
 """
 
 from __future__ import annotations
@@ -132,6 +141,67 @@ def main(argv=None) -> int:
         help="epoch columns to show (default: way split, hit rates, "
         "utilization, coverage)",
     )
+    report_parser.add_argument(
+        "--events-tail", type=int, metavar="N", default=8,
+        help="echo the newest N trace events verbatim (0 disables; default 8)",
+    )
+    report_parser.add_argument(
+        "--json", action="store_true",
+        help="dump the loaded run directory as JSON instead of tables",
+    )
+
+    bench_parser = sub.add_parser(
+        "bench", help="timed experiment run appended to its BENCH trajectory"
+    )
+    bench_parser.add_argument("experiment", help="experiment name, e.g. fig05")
+    bench_parser.add_argument(
+        "--repeats", type=int, metavar="N", default=3,
+        help="timed repeats after warmup (default: 3)",
+    )
+    bench_parser.add_argument(
+        "--warmup", type=int, metavar="N", default=1,
+        help="untimed warmup runs before measuring (default: 1)",
+    )
+    bench_parser.add_argument("--quick", action="store_true")
+    bench_parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="trajectory file to append to (default: BENCH_<experiment>.json "
+        "in the current directory)",
+    )
+    bench_parser.add_argument(
+        "--no-append", action="store_true",
+        help="measure and print without touching the trajectory file",
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true",
+        help="print the new record as JSON instead of a summary",
+    )
+
+    compare_parser = sub.add_parser(
+        "compare", help="diff two bench records; non-zero exit on regression"
+    )
+    compare_parser.add_argument(
+        "baseline",
+        help="BENCH_*.json trajectory; with no candidate file, its last two "
+        "records are compared (committed baseline vs fresh bench)",
+    )
+    compare_parser.add_argument(
+        "candidate", nargs="?", default=None,
+        help="candidate trajectory (its last record is compared against "
+        "the baseline's last record)",
+    )
+    compare_parser.add_argument(
+        "--kpi-tol", type=float, metavar="FRAC", default=0.05,
+        help="relative KPI tolerance, either direction (default: 0.05)",
+    )
+    compare_parser.add_argument(
+        "--time-tol", type=float, metavar="FRAC", default=0.5,
+        help="relative wall-time slowdown tolerance (default: 0.5)",
+    )
+    compare_parser.add_argument(
+        "--json", action="store_true",
+        help="print the comparison as JSON instead of a table",
+    )
 
     profile_parser = sub.add_parser(
         "profile", help="run one experiment with wall-time phase attribution"
@@ -167,14 +237,31 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "report":
-        from repro.obs.report import render_report
+        import json
+
+        from repro.obs.report import load_run_dir, render_report
 
         try:
-            print(render_report(Path(args.path), columns=args.columns))
+            if args.json:
+                print(json.dumps(load_run_dir(Path(args.path)), sort_keys=True))
+            else:
+                print(
+                    render_report(
+                        Path(args.path),
+                        columns=args.columns,
+                        events_tail=args.events_tail,
+                    )
+                )
         except FileNotFoundError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         return 0
+
+    if args.command == "bench":
+        return _bench_command(args)
+
+    if args.command == "compare":
+        return _compare_command(args)
 
     # "run" and "profile" both execute experiments.
     selected = _resolve_experiments(args.experiment)
@@ -237,6 +324,97 @@ def main(argv=None) -> int:
             )
             print(f"render with: python -m repro report {session.out_dir}")
     return 0
+
+
+def _bench_command(args) -> int:
+    """``python -m repro bench <exp>``: timed run -> trajectory record."""
+    import json
+
+    from repro.obs import bench
+
+    try:
+        record = bench.bench_experiment(
+            args.experiment,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            quick=args.quick,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = Path(args.out) if args.out else bench.default_trajectory_path(
+        args.experiment
+    )
+    if not args.no_append:
+        bench.append_record(path, record)
+    if args.json:
+        print(json.dumps(record, indent=1, sort_keys=True))
+    else:
+        kpis = record["kpis"]
+        cell = record["cell_latency_s"]
+        print(f"== Bench: {record['experiment']} ==")
+        print(
+            f"wall {record['wall_time_mean_s']:.3f}s mean "
+            f"(min {record['wall_time_min_s']:.3f}s over "
+            f"{record['repeats']} repeats), "
+            f"{record['throughput_accesses_per_s']:,.0f} accesses/s, "
+            f"peak RSS {record['peak_rss_kb']} KB"
+        )
+        if cell["count"]:
+            print(
+                f"cells: {cell['count']} timed, "
+                f"p50 {cell['p50']:.3f}s, p95 {cell['p95']:.3f}s"
+            )
+        cache_counts = record["cache"]
+        if cache_counts["enabled"]:
+            print(
+                f"result cache: {cache_counts['hits']} hits, "
+                f"{cache_counts['misses']} misses"
+            )
+        for name, value in sorted(kpis.items()):
+            print(f"  {name:<40} {value:.6g}")
+        if not args.no_append:
+            print(f"appended record #{len(bench.load_trajectory(path))} to {path}")
+    return 0
+
+
+def _compare_command(args) -> int:
+    """``python -m repro compare``: 0 ok, 1 regression, 2 schema/usage."""
+    import json
+
+    from repro.obs import bench
+
+    try:
+        base_records = bench.load_trajectory(args.baseline)
+        if args.candidate is None:
+            if len(base_records) < 2:
+                print(
+                    f"error: {args.baseline} holds {len(base_records)} "
+                    "record(s); need two to compare (or pass a candidate file)",
+                    file=sys.stderr,
+                )
+                return 2
+            baseline, candidate = base_records[-2], base_records[-1]
+        else:
+            cand_records = bench.load_trajectory(args.candidate)
+            if not base_records or not cand_records:
+                print(
+                    "error: both trajectories need at least one record",
+                    file=sys.stderr,
+                )
+                return 2
+            baseline, candidate = base_records[-1], cand_records[-1]
+        comparison = bench.compare_records(
+            baseline, candidate, kpi_tol=args.kpi_tol, time_tol=args.time_tol
+        )
+    except bench.BenchSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(bench.render_comparison(comparison))
+    return 0 if comparison.ok else 1
 
 
 def _cache_command(args) -> int:

@@ -58,6 +58,16 @@ def run(quick: bool = False) -> common.ExperimentTable:
     return table
 
 
+def kpis(table: common.ExperimentTable) -> dict:
+    """The paper's headline reuse-skew numbers from the distribution table."""
+    out = {}
+    for threshold in (1, 15):
+        row = table.row(threshold)
+        out[f"entries_reused_ge_{threshold}"] = float(row[1])
+        out[f"pct_entries_reused_ge_{threshold}"] = float(row[2])
+    return out
+
+
 def main() -> None:
     print(run())
 

@@ -45,6 +45,15 @@ def run(quick: bool = False) -> common.ExperimentTable:
     return table
 
 
+def kpis(table: common.ExperimentTable) -> dict:
+    """Headline KPIs for the bench trajectory: per-config speedup geomeans."""
+    geo = table.row("geomean")
+    return {
+        f"speedup_geomean.{config}": float(geo[1 + i])
+        for i, config in enumerate(CONFIGS)
+    }
+
+
 def main() -> None:
     print(run())
 

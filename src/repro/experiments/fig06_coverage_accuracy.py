@@ -42,6 +42,16 @@ def run(quick: bool = False) -> common.ExperimentTable:
     return table
 
 
+def kpis(table: common.ExperimentTable) -> dict:
+    """Suite-average coverage and accuracy per prefetcher config."""
+    avg = table.row("average")
+    out = {}
+    for i, config in enumerate(CONFIGS):
+        out[f"coverage.{config}"] = float(avg[1 + 2 * i])
+        out[f"accuracy.{config}"] = float(avg[2 + 2 * i])
+    return out
+
+
 def main() -> None:
     print(run())
 

@@ -63,6 +63,16 @@ def run(quick: bool = False) -> common.ExperimentTable:
     return table
 
 
+def kpis(table: common.ExperimentTable) -> dict:
+    """Speedup geomean and mean metadata-traffic overhead per config."""
+    mean = table.row("mean")
+    out = {}
+    for i, config in enumerate(CONFIGS):
+        out[f"speedup_geomean.{config}"] = float(mean[1 + 2 * i])
+        out[f"traffic_overhead_pct.{config}"] = float(mean[2 + 2 * i])
+    return out
+
+
 def main() -> None:
     print(run())
 

@@ -45,6 +45,31 @@ def run(quick: bool = False) -> common.ExperimentTable:
     return table
 
 
+def kpis(table: common.ExperimentTable) -> dict:
+    """Partition-way KPIs: mean total ways plus the per-core way histogram.
+
+    Core cells read ``workload:ways``; the histogram counts how many
+    cores (across every mix) landed on each way allocation, flattened to
+    scalar KPIs (``ways_hist.N``) so the compare gate can diff them.
+    """
+    totals = [float(row[-1]) for row in table.rows]
+    hist: dict = {}
+    cores = 0
+    for row in table.rows:
+        for cell in row[1:-1]:
+            ways = int(str(cell).rsplit(":", 1)[-1])
+            hist[ways] = hist.get(ways, 0) + 1
+            cores += 1
+    out = {
+        "total_ways_mean": sum(totals) / len(totals) if totals else 0.0,
+        "total_ways_max": max(totals) if totals else 0.0,
+        "zero_way_core_fraction": (hist.get(0, 0) / cores) if cores else 0.0,
+    }
+    for ways in sorted(hist):
+        out[f"ways_hist.{ways}"] = float(hist[ways])
+    return out
+
+
 def main() -> None:
     print(run())
 

@@ -19,7 +19,10 @@ taxing the default path:
 * :mod:`repro.obs.profiling` -- scoped wall-time attribution to phases
   (trace gen, L2 stream, prefetcher, metadata store);
 * :mod:`repro.obs.report` -- renders a flushed run directory back into
-  human-readable tables (``python -m repro report <dir>``).
+  human-readable tables (``python -m repro report <dir>``);
+* :mod:`repro.obs.bench` -- timed, KPI-stamped benchmark records in
+  append-only ``BENCH_<experiment>.json`` trajectories with regression
+  comparison (``python -m repro bench <exp>`` / ``repro compare``).
 
 Observability is **off by default**: the simulators only instrument when
 an :class:`ObsSession` is active (passed explicitly or enabled globally
@@ -116,11 +119,16 @@ class ObsSession:
     def __init__(
         self,
         out_dir: Optional[object] = None,
-        event_capacity: int = 65_536,
+        event_capacity: Optional[int] = None,
         min_severity: str = "debug",
         categories: Optional[Sequence[str]] = None,
         profile: bool = False,
+        capacity: Optional[int] = None,
     ):
+        if capacity is not None and event_capacity is not None:
+            raise TypeError("pass capacity or event_capacity, not both")
+        if capacity is not None:
+            event_capacity = capacity
         self.registry = MetricsRegistry()
         self.sampler = EpochSampler()
         self.events = TraceEventStream(

@@ -21,6 +21,25 @@ from typing import Dict, List, Optional, Sequence, Tuple
 SEVERITIES = ("debug", "info", "warn", "error")
 _RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
 
+#: Ring capacity when neither the caller nor ``REPRO_OBS_EVENTS`` says
+#: otherwise.  Large enough for any single experiment's event volume,
+#: small enough that an abandoned session cannot hold real memory.
+DEFAULT_CAPACITY = 65_536
+
+
+def capacity_from_env(default: int = DEFAULT_CAPACITY) -> int:
+    """Ring capacity from ``REPRO_OBS_EVENTS``, else ``default``.
+
+    Invalid, zero or negative values warn once (stderr plus a
+    ``config.invalid_env`` trace event) and fall back to ``default`` --
+    the same discipline :mod:`repro.resilience` applies to
+    ``REPRO_JOBS``/``REPRO_RETRIES``.
+    """
+    from repro.resilience import positive_env  # lazy: keep obs imports light
+
+    value = positive_env("REPRO_OBS_EVENTS", int, minimum=1)
+    return int(value) if value is not None else default
+
 
 @dataclass
 class TraceEvent:
@@ -52,10 +71,12 @@ class TraceEventStream:
 
     def __init__(
         self,
-        capacity: int = 65_536,
+        capacity: Optional[int] = None,
         min_severity: str = "debug",
         categories: Optional[Sequence[str]] = None,
     ):
+        if capacity is None:
+            capacity = capacity_from_env()
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if min_severity not in _RANK:

@@ -34,6 +34,36 @@ def _package_version() -> str:
     return getattr(module, "__version__", "unknown")
 
 
+#: Cached fingerprint: the answer cannot change within one process, and
+#: caching makes the stamp deterministic even if the platform module
+#: were to wobble (the bench tests pin this down).
+_FINGERPRINT: Optional[Dict[str, object]] = None
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Identity of the machine/interpreter producing a run.
+
+    Stamped into every run manifest (``host``) and every benchmark
+    trajectory record (:mod:`repro.obs.bench`), so a KPI or timing delta
+    can always be traced to a hardware or interpreter change.  Stable
+    across calls within one process.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import os
+        import platform
+
+        _FINGERPRINT = {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "system": platform.system(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count() or 1,
+            "package_version": _package_version(),
+        }
+    return dict(_FINGERPRINT)
+
+
 @dataclass
 class RunManifest:
     """Everything needed to identify and re-run one simulation."""
@@ -51,6 +81,8 @@ class RunManifest:
     package_version: str = ""
     schema: int = SCHEMA_VERSION
     created_unix: float = 0.0
+    #: Machine/interpreter fingerprint (see :func:`machine_fingerprint`).
+    host: Dict[str, object] = field(default_factory=dict)
     metrics: Dict[str, object] = field(default_factory=dict)
     extra: Dict[str, object] = field(default_factory=dict)
 
@@ -109,6 +141,7 @@ def build_manifest(
         wall_time_s=wall_time_s,
         package_version=_package_version(),
         created_unix=time.time(),
+        host=machine_fingerprint(),
         extra=dict(extra or {}),
     )
     RUN_LOG.append(manifest)

@@ -139,22 +139,31 @@ def events_table(events: List[Dict[str, object]], tail: int = 8) -> str:
         counts[key] = counts.get(key, 0) + 1
     rows = [[k, v] for k, v in sorted(counts.items())]
     out = _format_table(["category/severity", "count"], rows, "Trace events")
-    if events:
+    if events and tail > 0:
         out += "\nlast events:"
         for event in events[-tail:]:
             out += "\n  " + json.dumps(event, sort_keys=True)
     return out
 
 
-def render_report(path, columns: Optional[Sequence[str]] = None) -> str:
-    """The full textual report for one run directory (or epochs file)."""
+def render_report(
+    path,
+    columns: Optional[Sequence[str]] = None,
+    events_tail: int = 8,
+) -> str:
+    """The full textual report for one run directory (or epochs file).
+
+    ``events_tail`` is how many of the newest trace events are echoed
+    verbatim below the per-category counts (``--events-tail`` on the
+    ``report`` CLI).
+    """
     data = load_run_dir(path)
     sections = []
     if data["manifests"]:
         sections.append(manifests_table(data["manifests"]))
     sections.append(epochs_table(data["epochs"], columns=columns))
     if data["events"]:
-        sections.append(events_table(data["events"]))
+        sections.append(events_table(data["events"], tail=events_tail))
     if data["metrics"]:
         rows = [[name, value] for name, value in sorted(data["metrics"].items())
                 if not isinstance(value, dict)]

@@ -311,7 +311,15 @@ def _fire_cell_faults(payload: Cell) -> None:
 
 
 def _execute(payload: Cell) -> Dict[str, object]:
-    """Worker entry point: configure cache/obs/faults locally, run, dump."""
+    """Worker entry point: configure cache/obs/faults locally, run, dump.
+
+    The output dict carries ``seconds`` -- the cell's own wall time
+    inside the worker, excluding queueing and transport -- which
+    :func:`run_cells` republishes as a ``parallel.cell_done`` trace
+    event (the benchmark harness's per-cell latency source).
+    """
+    import time
+
     from repro import obs as obs_mod
 
     if payload.get("faults"):
@@ -324,10 +332,19 @@ def _execute(payload: Cell) -> Dict[str, object]:
         # A forked worker inherits a copy of the parent's session; writes
         # to it would be silently lost, so make the state explicit.
         obs_mod.disable()
-        return {"result": _run_task(payload), "obs": None, "local": False}
+        start = time.perf_counter()
+        result = _run_task(payload)
+        return {
+            "result": result,
+            "obs": None,
+            "local": False,
+            "seconds": time.perf_counter() - start,
+        }
     session = obs_mod.enable()
     try:
+        start = time.perf_counter()
         result = _run_task(payload)
+        seconds = time.perf_counter() - start
         dump = {
             "metrics": session.registry.dump_typed(),
             "events": [e.to_dict() for e in session.events.events()],
@@ -336,7 +353,7 @@ def _execute(payload: Cell) -> Dict[str, object]:
         }
     finally:
         obs_mod.disable()
-    return {"result": result, "obs": dump, "local": False}
+    return {"result": result, "obs": dump, "local": False, "seconds": seconds}
 
 
 def _run_local(payload: Cell, attempt: int = 0) -> Dict[str, object]:
@@ -347,9 +364,18 @@ def _run_local(payload: Cell, attempt: int = 0) -> Dict[str, object]:
     metrics were already recorded in-process.  The ``worker_crash``
     fault site raises here instead of killing the process.
     """
+    import time
+
     payload = dict(payload, fault_attempt=attempt)
     _fire_cell_faults(payload)
-    return {"result": _run_task(payload), "obs": None, "local": True}
+    start = time.perf_counter()
+    result = _run_task(payload)
+    return {
+        "result": result,
+        "obs": None,
+        "local": True,
+        "seconds": time.perf_counter() - start,
+    }
 
 
 def _merge_obs(session, dump: Dict[str, object]) -> None:
@@ -527,4 +553,20 @@ def run_cells(
         _log_manifests(result)
         if session is not None and output["obs"] is not None:
             _merge_obs(session, output["obs"])
+    if emit is not None:
+        # Per-cell latencies (worker wall time, excluding queueing and
+        # transport), emitted *after* the worker-event merges above so a
+        # large grid's merged event flood cannot evict them from the
+        # ring before repro.obs.bench harvests its p50/p95 columns.
+        for position, index in enumerate(todo):
+            seconds = outputs[position].get("seconds")
+            if seconds is None:
+                continue
+            emit(
+                "parallel.cell_done",
+                "debug",
+                cell=index,
+                task=str(cells[index].get("task")),
+                seconds=seconds,
+            )
     return results

@@ -369,3 +369,139 @@ class TestSimulatorIntegration:
         assert "l2_prefetcher" in phases
         assert "metadata_store" in phases
         drain_run_log()
+
+
+# ---------------------------------------------------------------------------
+# event ring capacity configuration (REPRO_OBS_EVENTS)
+# ---------------------------------------------------------------------------
+
+
+class TestEventCapacityConfig:
+    def test_env_sets_default_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_EVENTS", "16")
+        assert TraceEventStream().capacity == 16
+
+    def test_enable_capacity_kwarg(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_EVENTS", "16")
+        session = obs.enable(capacity=4)  # explicit beats the environment
+        try:
+            assert session.events.capacity == 4
+        finally:
+            obs.disable()
+
+    def test_event_capacity_kwarg_still_works(self):
+        assert obs.ObsSession(event_capacity=7).events.capacity == 7
+
+    def test_both_capacity_spellings_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            obs.ObsSession(capacity=4, event_capacity=8)
+
+    def test_invalid_env_warns_once_and_falls_back(self, monkeypatch, capsys):
+        from repro import resilience
+        from repro.obs.events import DEFAULT_CAPACITY
+
+        monkeypatch.setenv("REPRO_OBS_EVENTS", "banana")
+        monkeypatch.setattr(resilience, "_WARNED_ENV", set())
+        assert TraceEventStream().capacity == DEFAULT_CAPACITY
+        assert TraceEventStream().capacity == DEFAULT_CAPACITY
+        err = capsys.readouterr().err
+        assert err.count("REPRO_OBS_EVENTS") == 1  # warn-once
+
+    def test_zero_env_ignored(self, monkeypatch):
+        from repro import resilience
+        from repro.obs.events import DEFAULT_CAPACITY
+
+        monkeypatch.setenv("REPRO_OBS_EVENTS", "0")
+        monkeypatch.setattr(resilience, "_WARNED_ENV", set())
+        assert TraceEventStream().capacity == DEFAULT_CAPACITY
+
+    def test_explicit_invalid_capacity_still_raises(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceEventStream(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# report: partial artifacts, events tail, machine fingerprint stamping
+# ---------------------------------------------------------------------------
+
+
+class TestReportRobustness:
+    def _flushed_dir(self, tmp_path):
+        trace = small_trace()
+        with obs.session(out_dir=tmp_path) as session:
+            simulate(trace, triage_cfg(), machine=MACHINE, epoch_accesses=2_000)
+            session.flush()
+        drain_run_log()
+        return tmp_path
+
+    def test_render_survives_partially_missing_artifacts(self, tmp_path):
+        full = self._flushed_dir(tmp_path)
+        for missing in ("events.jsonl", "manifests.jsonl", "metrics.json",
+                        "epochs.jsonl"):
+            (full / missing).unlink()
+            report = render_report(full)  # must not raise
+            assert "Epoch time-series" in report
+        # Everything gone: still renders the empty-epochs placeholder.
+        assert "no epoch samples" in render_report(full)
+
+    def test_events_tail_zero_suppresses_tail_dump(self, tmp_path):
+        full = self._flushed_dir(tmp_path)
+        assert "last events:" in render_report(full, events_tail=8)
+        assert "last events:" not in render_report(full, events_tail=0)
+
+    def test_report_cli_events_tail_and_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        full = self._flushed_dir(tmp_path)
+        assert main(["report", str(full), "--events-tail", "0"]) == 0
+        assert "last events:" not in capsys.readouterr().out
+        assert main(["report", str(full), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["manifests"] and payload["epochs"]
+        assert payload["manifests"][0]["host"]["cpu_count"] >= 1
+
+    def test_manifest_carries_machine_fingerprint(self):
+        from repro.obs.manifest import machine_fingerprint
+
+        trace = small_trace(n=6_000)
+        result = simulate(trace, None, machine=MACHINE)
+        assert result.manifest.host == machine_fingerprint()
+        assert machine_fingerprint() == machine_fingerprint()
+        drain_run_log()
+
+
+# ---------------------------------------------------------------------------
+# PhaseTimer spread statistics
+# ---------------------------------------------------------------------------
+
+
+class TestPhaseSpread:
+    def test_mean_min_max_tracked(self):
+        timer = PhaseTimer()
+        timer.add("l2", 1.0)
+        timer.add("l2", 3.0)
+        timer.add("dram", 2.0)
+        name, secs, calls, mean, lo, hi = timer.sorted_phases()[0]
+        assert (name, secs, calls) == ("l2", 4.0, 2)
+        assert mean == pytest.approx(2.0)
+        assert (lo, hi) == (1.0, 3.0)
+
+    def test_batched_add_uses_per_call_average(self):
+        timer = PhaseTimer()
+        timer.add("x", 10.0, calls=4)
+        _, _, calls, mean, lo, hi = timer.sorted_phases()[0]
+        assert calls == 4
+        assert mean == lo == hi == pytest.approx(2.5)
+
+    def test_sort_is_stable_on_ties(self):
+        timer = PhaseTimer()
+        timer.add("zeta", 1.0)
+        timer.add("alpha", 1.0)
+        assert [p[0] for p in timer.sorted_phases()] == ["alpha", "zeta"]
+
+    def test_table_shows_spread_columns(self):
+        timer = PhaseTimer()
+        timer.add("l2", 1.0)
+        table = timer.table()
+        for column in ("mean", "min", "max", "share", "calls"):
+            assert column in table
