@@ -1,0 +1,90 @@
+"""Micro-benchmark for the cache model's hot path.
+
+Times raw :meth:`repro.memory.cache.Cache.access` / ``fill`` throughput
+in isolation from any simulation engine, exercising the three regimes the
+O(1) replacement work targets:
+
+* pure hits (the ``_PLAIN_HIT`` fast path, no allocation),
+* streaming misses on a cold cache (freelist pops, no victim search),
+* steady-state eviction (policy ``victim()`` on every fill).
+
+Run with ``pytest benchmarks/bench_cache_microbench.py`` -- the printed
+ops/s pairs with the profile in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import Cache
+
+#: Accesses per timed round; large enough that per-round overhead is noise.
+N_OPS = 200_000
+
+
+def _make_cache() -> Cache:
+    # The paper's LLC geometry: 2 MB, 16-way, 64 B lines, LRU.
+    return Cache("LLC", 2 * 1024 * 1024, 16, policy="lru")
+
+
+def _report(benchmark, ops: int) -> None:
+    mean = benchmark.stats.stats.mean
+    print(f"\n[cache-microbench] {ops / mean:,.0f} ops/s (mean {mean:.3f}s)")
+
+
+def test_cache_hit_path(benchmark):
+    """Demand hits on a resident working set: no fills, no victims."""
+    cache = _make_cache()
+    resident = list(range(4096))
+    for line in resident:
+        cache.fill(line, 0x400)
+    lines = [resident[i % len(resident)] for i in range(N_OPS)]
+
+    def run():
+        access = cache.access
+        for line in lines:
+            access(line, 0x400)
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    _report(benchmark, N_OPS)
+    assert cache.hits >= N_OPS
+
+
+def test_cache_fill_evict_path(benchmark):
+    """Streaming misses at 4x capacity: every fill evicts at steady state."""
+    num_lines = (2 * 1024 * 1024) // 64
+    lines = [i % (4 * num_lines) for i in range(N_OPS)]
+
+    def run():
+        cache = _make_cache()
+        access = cache.access
+        fill = cache.fill
+        for line in lines:
+            if not access(line, 0x400).hit:
+                fill(line, 0x400)
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    _report(benchmark, N_OPS)
+
+
+def test_cache_mixed_path_with_resize(benchmark):
+    """Hits + evictions with periodic way repartitioning (Triage's LLC)."""
+    num_lines = (2 * 1024 * 1024) // 64
+    hot = list(range(2048))
+    lines = []
+    for i in range(N_OPS):
+        if i % 4:
+            lines.append(hot[i % len(hot)])
+        else:
+            lines.append(num_lines + i)  # streaming tail forces evictions
+
+    def run():
+        cache = _make_cache()
+        access = cache.access
+        fill = cache.fill
+        for i, line in enumerate(lines):
+            if not access(line, 0x400).hit:
+                fill(line, 0x400)
+            if i % 50_000 == 25_000:
+                cache.set_active_ways(12 if cache.active_ways == 16 else 16)
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    _report(benchmark, N_OPS)

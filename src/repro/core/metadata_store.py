@@ -32,7 +32,7 @@ ENTRIES_PER_LINE = 16
 SET_ID_BITS = 11
 
 
-@dataclass
+@dataclass(slots=True)
 class MetadataEntry:
     """One correlation: ``trigger``'s PC-localized successor."""
 
@@ -88,10 +88,17 @@ class MetadataStore:
         self.capacity_bytes = 0
         self.num_sets = 0
         # Per-set fixed way arrays (stable way identity for the policy)
-        # plus a trigger->way index for O(1) lookup.
+        # plus a trigger->way index for O(1) lookup.  ``_free`` holds each
+        # set's unused ways as a descending stack: entries are only ever
+        # removed by eviction-and-replace, never freed individually, so a
+        # plain ``pop()`` yields the lowest free way with no scan.
         self._ways: List[List[Optional[MetadataEntry]]] = []
         self._index: List[Dict[int, int]] = []
+        self._free: List[List[int]] = []
         self._policy: Optional[ReplacementPolicy] = None
+        #: The policy, when it is a sampling Hawkeye (hot-path shortcut for
+        #: :meth:`observe_access`, refreshed by :meth:`resize`).
+        self._hawkeye: Optional[HawkeyePolicy] = None
         if not self.unbounded:
             self.resize(capacity_bytes)
 
@@ -138,8 +145,12 @@ class MetadataStore:
         self.num_sets = _floor_pow2(capacity_bytes // (ENTRY_BYTES * ENTRIES_PER_LINE))
         self._ways = [[None] * ENTRIES_PER_LINE for _ in range(self.num_sets)]
         self._index = [dict() for _ in range(self.num_sets)]
+        self._free = [
+            list(range(ENTRIES_PER_LINE - 1, -1, -1)) for _ in range(self.num_sets)
+        ]
         if self.num_sets == 0:
             self._policy = None
+            self._hawkeye = None
             return
         if self.policy_name == "hawkeye":
             self._policy = HawkeyePolicy(
@@ -152,6 +163,9 @@ class MetadataStore:
             self._policy = LruPolicy(self.num_sets, ENTRIES_PER_LINE)
         else:
             raise ValueError(f"unsupported metadata policy {self.policy_name!r}")
+        self._hawkeye = (
+            self._policy if isinstance(self._policy, HawkeyePolicy) else None
+        )
         for entry in old_entries:
             set_idx = self._set_of(entry.trigger)
             if len(self._index[set_idx]) < ENTRIES_PER_LINE:
@@ -187,15 +201,22 @@ class MetadataStore:
         """
         self.lookups += 1
         self.llc_accesses += 1
-        entry = self._find(trigger)
-        if entry is None:
-            return None
+        if self.unbounded:
+            entry = self._unbounded_map.get(trigger)
+            if entry is None:
+                return None
+        else:
+            if self.num_sets == 0:
+                return None
+            set_idx = trigger & (self.num_sets - 1)
+            way = self._index[set_idx].get(trigger)
+            if way is None:
+                return None
+            entry = self._ways[set_idx][way]
         self.lookup_hits += 1
         if self.track_reuse:
             self.reuse_counts[trigger] = self.reuse_counts.get(trigger, 0) + 1
-        if self._policy is not None and not self.unbounded:
-            set_idx = self._set_of(trigger)
-            way = self._index[set_idx][trigger]
+        if not self.unbounded and self._policy is not None:
             self._policy.on_hit(set_idx, way, pc)
         return self._decode(entry)
 
@@ -237,8 +258,8 @@ class MetadataStore:
 
     def observe_access(self, trigger: int, pc: int) -> None:
         """Feed one metadata access to the Hawkeye sampler (if active)."""
-        if isinstance(self._policy, HawkeyePolicy) and self.num_sets > 0:
-            self._policy.observe(self._set_of(trigger), trigger, pc)
+        if self._hawkeye is not None:
+            self._hawkeye.observe(trigger & (self.num_sets - 1), trigger, pc)
 
     def record_prefetch_outcome(self, trigger: int, pc: int, redundant: bool) -> None:
         """Delayed training: count the metadata access behind a prefetch.
@@ -289,10 +310,12 @@ class MetadataStore:
         set_idx = self._set_of(entry.trigger)
         ways = self._ways[set_idx]
         index = self._index[set_idx]
-        way = next((w for w in range(ENTRIES_PER_LINE) if ways[w] is None), None)
-        if way is None:
+        free = self._free[set_idx]
+        if free:
+            way = free.pop()
+        else:
             assert self._policy is not None
-            way = self._policy.victim(set_idx, list(range(ENTRIES_PER_LINE)), pc)
+            way = self._policy.victim(set_idx, pc)
             victim = ways[way]
             assert victim is not None
             del index[victim.trigger]

@@ -9,14 +9,15 @@ to data and metadata").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
 from typing import Dict, List, Optional, Union
 
 from repro.memory.address import LINE_SIZE
 from repro.replacement.base import ReplacementPolicy
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One resident cache line."""
 
@@ -28,7 +29,7 @@ class CacheLine:
     pc: int = 0  # PC of the filling access
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessOutcome:
     """What happened on a cache access or fill."""
 
@@ -37,6 +38,13 @@ class AccessOutcome:
     #: prefetched line, else None.
     prefetch_hit: Optional[str] = None
     evicted: Optional[CacheLine] = None  # victim displaced by a fill
+
+
+#: Shared outcomes for the two overwhelmingly common cases.  Treat them
+#: as immutable: :meth:`Cache.access` returns these instead of allocating
+#: a fresh record per miss / plain hit.
+_MISS = AccessOutcome(hit=False)
+_PLAIN_HIT = AccessOutcome(hit=True)
 
 
 def _is_pow2(n: int) -> bool:
@@ -85,10 +93,26 @@ class Cache:
             self.policy = make_policy(policy, num_sets, ways)
         else:
             self.policy = policy
+        # Policy hooks run on every access/fill; pre-bound methods avoid
+        # re-creating a bound method per call.  The policy object is fixed
+        # for the cache's lifetime (resize_ways mutates it in place), and
+        # ``set_line_key`` is skipped entirely for policies that keep the
+        # base no-op.
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_on_fill = self.policy.on_fill
+        self._policy_on_evict = self.policy.on_evict
+        self._policy_victim = self.policy.victim
+        self._policy_tracks_keys = (
+            type(self.policy).set_line_key is not ReplacementPolicy.set_line_key
+        )
         self._ways: List[List[Optional[CacheLine]]] = [
             [None] * ways for _ in range(num_sets)
         ]
         self._index: List[Dict[int, int]] = [dict() for _ in range(num_sets)]
+        # Per-set min-heap of free (active) ways: fills pop the lowest
+        # free way in O(log ways) instead of scanning every way; an
+        # ascending range is already a valid heap.
+        self._free: List[List[int]] = [list(range(ways)) for _ in range(num_sets)]
         self.hits = 0
         self.misses = 0
 
@@ -107,7 +131,7 @@ class Cache:
 
     def contains(self, line: int) -> bool:
         """Return True if ``line`` is resident (no replacement update)."""
-        return line in self._index[self.set_of(line)]
+        return line in self._index[line & (self.num_sets - 1)]
 
     def occupancy(self) -> int:
         """Number of valid lines currently resident."""
@@ -121,20 +145,21 @@ class Cache:
         On a miss the caller is expected to consult the next level and
         call :meth:`fill`.
         """
-        set_idx = self.set_of(line)
+        set_idx = line & (self.num_sets - 1)
         way = self._index[set_idx].get(line)
         if way is None:
             self.misses += 1
-            return AccessOutcome(hit=False)
+            return _MISS
         self.hits += 1
         entry = self._ways[set_idx][way]
-        assert entry is not None
         if is_write:
             entry.dirty = True
         prefetch_hit = entry.prefetched
+        self._policy_on_hit(set_idx, way, pc)
+        if prefetch_hit is None:
+            return _PLAIN_HIT
         entry.prefetched = None
-        self.policy.on_hit(set_idx, way, pc)
-        return AccessOutcome(hit=True, prefetch_hit=prefetch_hit)
+        return AccessOutcome(True, prefetch_hit)
 
     def fill(
         self,
@@ -150,30 +175,30 @@ class Cache:
         """
         if self.active_ways == 0:
             return None  # fully partitioned away: nothing to install into
-        set_idx = self.set_of(line)
+        set_idx = line & (self.num_sets - 1)
         index = self._index[set_idx]
+        ways = self._ways[set_idx]
         existing = index.get(line)
         if existing is not None:
-            entry = self._ways[set_idx][existing]
-            assert entry is not None
-            entry.dirty = entry.dirty or dirty
-            self.policy.on_hit(set_idx, existing, pc)
+            if dirty:
+                ways[existing].dirty = True
+            self._policy_on_hit(set_idx, existing, pc)
             return None
 
-        way = self._free_way(set_idx)
+        free = self._free[set_idx]
         victim: Optional[CacheLine] = None
-        if way is None:
-            candidates = [index[tag] for tag in index]
-            way = self.policy.victim(set_idx, candidates, pc)
-            victim = self._ways[set_idx][way]
-            assert victim is not None
+        if free:
+            way = heappop(free)
+        else:
+            way = self._policy_victim(set_idx, pc)
+            victim = ways[way]
             del index[victim.line]
-            self.policy.on_evict(set_idx, way)
-        entry = CacheLine(line=line, dirty=dirty, prefetched=prefetched, pc=pc)
-        self._ways[set_idx][way] = entry
+            self._policy_on_evict(set_idx, way)
+        ways[way] = CacheLine(line, dirty, prefetched, pc)
         index[line] = way
-        self.policy.set_line_key(set_idx, way, line)
-        self.policy.on_fill(set_idx, way, pc)
+        if self._policy_tracks_keys:
+            self.policy.set_line_key(set_idx, way, line)
+        self._policy_on_fill(set_idx, way, pc)
         return victim
 
     def invalidate(self, line: int) -> Optional[CacheLine]:
@@ -184,18 +209,17 @@ class Cache:
             return None
         entry = self._ways[set_idx][way]
         self._ways[set_idx][way] = None
-        self.policy.on_evict(set_idx, way)
+        heappush(self._free[set_idx], way)
+        self._policy_on_evict(set_idx, way)
         return entry
 
     def mark_dirty(self, line: int) -> bool:
         """Set the dirty bit of a resident line; return whether it was found."""
-        set_idx = self.set_of(line)
+        set_idx = line & (self.num_sets - 1)
         way = self._index[set_idx].get(line)
         if way is None:
             return False
-        entry = self._ways[set_idx][way]
-        assert entry is not None
-        entry.dirty = True
+        self._ways[set_idx][way].dirty = True
         return True
 
     # -- way partitioning ---------------------------------------------------
@@ -222,15 +246,22 @@ class Cache:
                         del index[entry.line]
                         ways[way] = None
                         self.policy.on_evict(set_idx, way)
+                # Deactivated ways leave the freelist (free or just
+                # evicted alike); filtering can break the heap shape,
+                # so restore it.
+                free = [w for w in self._free[set_idx] if w < n]
+                heapify(free)
+                self._free[set_idx] = free
+        elif n > self.active_ways:
+            # Re-enabled ways are empty by construction (the shrink that
+            # deactivated them evicted their lines); they refill naturally.
+            reenabled = range(self.active_ways, n)
+            for free in self._free:
+                for way in reenabled:
+                    heappush(free, way)
         self.active_ways = n
+        self.policy.resize_ways(n)
         return evicted
-
-    def _free_way(self, set_idx: int) -> Optional[int]:
-        ways = self._ways[set_idx]
-        for way in range(self.active_ways):
-            if ways[way] is None:
-                return way
-        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

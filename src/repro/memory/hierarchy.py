@@ -10,7 +10,7 @@ prefetches through :meth:`CacheHierarchy.prefetch`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Union
 
 from repro.memory.address import LINE_SIZE
@@ -22,7 +22,7 @@ from repro.replacement.base import ReplacementPolicy
 LEVELS = ("l1", "l2", "llc", "dram")
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyEvent:
     """Outcome of one demand access, consumed by prefetcher training."""
 
@@ -42,11 +42,15 @@ class HierarchyEvent:
 
     @property
     def trains_l2_prefetcher(self) -> bool:
-        """True when this event is part of the L2 miss + prefetch-hit stream."""
+        """True when this event is part of the L2 miss + prefetch-hit stream.
+
+        The per-access simulation engines inline this condition (a
+        property costs a call frame per access); keep them in sync.
+        """
         return self.hit_level in ("llc", "dram") or self.prefetch_hit_kind is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreCounters:
     """Per-core demand/prefetch statistics.
 
@@ -120,7 +124,7 @@ class CacheHierarchy:
 
         if l1.access(line, pc, is_write).hit:
             counters.l1_hits += 1
-            return HierarchyEvent(core, pc, line, "l1", is_write=is_write)
+            return HierarchyEvent(core, pc, line, "l1", None, is_write)
 
         l2_outcome = l2.access(line, pc, is_write)
         if l2_outcome.hit:
@@ -131,12 +135,7 @@ class CacheHierarchy:
                 counters.l1pf_useful += 1
             self._fill_l1(core, line, pc, is_write)
             return HierarchyEvent(
-                core,
-                pc,
-                line,
-                "l2",
-                prefetch_hit_kind=l2_outcome.prefetch_hit,
-                is_write=is_write,
+                core, pc, line, "l2", l2_outcome.prefetch_hit, is_write
             )
 
         llc_outcome = self.llc.access(line, pc)
@@ -150,7 +149,7 @@ class CacheHierarchy:
             hit_level = "dram"
         self._fill_l2(core, line, pc, is_write)
         self._fill_l1(core, line, pc, is_write)
-        return HierarchyEvent(core, pc, line, hit_level, is_write=is_write)
+        return HierarchyEvent(core, pc, line, hit_level, None, is_write)
 
     # -- prefetch path ---------------------------------------------------------
 

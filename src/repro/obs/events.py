@@ -41,7 +41,7 @@ def capacity_from_env(default: int = DEFAULT_CAPACITY) -> int:
     return int(value) if value is not None else default
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One structured event: identity, classification, free-form fields."""
 
@@ -101,9 +101,12 @@ class TraceEventStream:
 
     def emit(self, category: str, severity: str = "info", **fields) -> bool:
         """Record one event; returns whether it passed the filters."""
-        if severity not in _RANK:
+        rank = _RANK.get(severity)
+        if rank is None:
             raise ValueError(f"unknown severity {severity!r}; want one of {SEVERITIES}")
-        if not self._admits(category, severity):
+        if rank < self.min_rank or (
+            self.categories is not None and not self._admits(category, severity)
+        ):
             self.filtered += 1
             return False
         self._ring.append(TraceEvent(self.emitted, category, severity, fields))

@@ -15,7 +15,7 @@ from typing import List
 from repro.prefetchers.base import BasePrefetcher, PrefetchCandidate
 
 
-@dataclass
+@dataclass(slots=True)
 class _StrideEntry:
     last_line: int
     stride: int = 0

@@ -5,11 +5,18 @@ calls back into the policy on hits, fills and evictions, and asks it to
 pick a victim way when a set is full.  Policies are keyed purely by
 ``(set_index, way)`` so the same implementation serves data caches and
 Triage's entry-granularity metadata store alike.
+
+The victim contract is allocation-free: the owner guarantees every way
+in ``0..num_ways-1`` holds a valid line when :meth:`victim` is called (a
+set with a free way never needs a victim), so the policy picks from its
+own per-way state instead of receiving a candidates list.  Owners that
+deactivate ways (LLC way partitioning) keep ``num_ways`` in sync via
+:meth:`resize_ways`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 
 class ReplacementPolicy:
@@ -35,13 +42,12 @@ class ReplacementPolicy:
     def on_evict(self, set_idx: int, way: int) -> None:
         """Called when the line at ``(set_idx, way)`` is invalidated."""
 
-    def victim(
-        self,
-        set_idx: int,
-        candidate_ways: Sequence[int],
-        pc: Optional[int] = None,
-    ) -> int:
-        """Return the way to evict among ``candidate_ways`` (all valid)."""
+    def victim(self, set_idx: int, pc: Optional[int] = None) -> int:
+        """Return the way to evict from ``set_idx``.
+
+        The caller guarantees every way in ``0..num_ways-1`` is valid;
+        ties break toward the lowest way.
+        """
         raise NotImplementedError
 
     def set_line_key(self, set_idx: int, way: int, key: int) -> None:
@@ -52,7 +58,11 @@ class ReplacementPolicy:
         """
 
     def resize_ways(self, num_ways: int) -> None:
-        """Adjust the number of ways (used by way partitioning)."""
+        """Adjust the number of ways (used by way partitioning).
+
+        Subclasses holding per-way state must grow *and* truncate their
+        rows so :meth:`victim` never considers a deactivated way.
+        """
         self.num_ways = num_ways
 
 

@@ -12,7 +12,7 @@ replacement-sensitivity studies.
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.replacement.srrip import SrripPolicy
 
@@ -59,11 +59,3 @@ class DrripPolicy(SrripPolicy):
                 self._rrpv[set_idx][way] = self.max_rrpv
         else:
             self._rrpv[set_idx][way] = self.max_rrpv - 1
-
-    def victim(
-        self,
-        set_idx: int,
-        candidate_ways: Sequence[int],
-        pc: Optional[int] = None,
-    ) -> int:
-        return super().victim(set_idx, candidate_ways, pc)

@@ -14,7 +14,7 @@ prefetch-usefulness filter that lives in :mod:`repro.core.triage`.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 from repro.replacement.base import ReplacementPolicy
 from repro.replacement.optgen import OptGen
@@ -152,14 +152,9 @@ class HawkeyePolicy(ReplacementPolicy):
     def on_evict(self, set_idx: int, way: int) -> None:
         self._rrpv[set_idx][way] = MAX_RRPV
 
-    def victim(
-        self,
-        set_idx: int,
-        candidate_ways: Sequence[int],
-        pc: Optional[int] = None,
-    ) -> int:
+    def victim(self, set_idx: int, pc: Optional[int] = None) -> int:
         row = self._rrpv[set_idx]
-        best = max(candidate_ways, key=lambda w: row[w])
+        best = row.index(max(row))
         if row[best] < MAX_RRPV:
             # Evicting a line the predictor liked: detrain its PC.
             self.predictor.train(self._line_pc[set_idx][best], False)
@@ -172,6 +167,14 @@ class HawkeyePolicy(ReplacementPolicy):
                 row.extend([MAX_RRPV] * grow)
             for row in self._line_pc:
                 row.extend([0] * grow)
+        elif num_ways < self.num_ways:
+            for row in self._rrpv:
+                del row[num_ways:]
+            for row in self._line_pc:
+                del row[num_ways:]
+            for keys in self._line_keys.values():
+                for way in [w for w in keys if w >= num_ways]:
+                    del keys[way]
         super().resize_ways(num_ways)
 
     # -- helpers -----------------------------------------------------------
@@ -185,5 +188,7 @@ class HawkeyePolicy(ReplacementPolicy):
         self._line_keys.setdefault(set_idx, {})[way] = key
 
     def _line_key(self, set_idx: int, way: int) -> int:
-        default = set_idx * self.num_ways + way
-        return self._line_keys.get(set_idx, {}).get(way, default)
+        keys = self._line_keys.get(set_idx)
+        if keys is None:
+            return set_idx * self.num_ways + way
+        return keys.get(way, set_idx * self.num_ways + way)

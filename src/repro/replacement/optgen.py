@@ -81,9 +81,9 @@ class OptGen:
         start = prev - self._base_time
         end = now - self._base_time  # exclusive
         occ = self._occupancy
-        if all(occ[i] < self.capacity for i in range(start, end)):
-            for i in range(start, end):
-                occ[i] += 1
+        interval = occ[start:end]
+        if max(interval) < self.capacity:
+            occ[start:end] = [v + 1 for v in interval]
             self.hits += 1
             return True
         self.misses += 1

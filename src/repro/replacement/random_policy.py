@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.replacement.base import ReplacementPolicy
 
 
 class RandomPolicy(ReplacementPolicy):
-    """Evict a uniformly random candidate.
+    """Evict a uniformly random way.
 
     The RNG is seeded from the geometry so simulations are reproducible.
     """
@@ -18,10 +18,5 @@ class RandomPolicy(ReplacementPolicy):
         super().__init__(num_sets, num_ways)
         self._rng = random.Random(seed ^ (num_sets * 31 + num_ways))
 
-    def victim(
-        self,
-        set_idx: int,
-        candidate_ways: Sequence[int],
-        pc: Optional[int] = None,
-    ) -> int:
-        return candidate_ways[self._rng.randrange(len(candidate_ways))]
+    def victim(self, set_idx: int, pc: Optional[int] = None) -> int:
+        return self._rng.randrange(self.num_ways)

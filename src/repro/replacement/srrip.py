@@ -9,7 +9,7 @@ to LRU in the metadata-replacement ablations.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.replacement.base import ReplacementPolicy
 
@@ -31,18 +31,14 @@ class SrripPolicy(ReplacementPolicy):
     def on_evict(self, set_idx: int, way: int) -> None:
         self._rrpv[set_idx][way] = self.max_rrpv
 
-    def victim(
-        self,
-        set_idx: int,
-        candidate_ways: Sequence[int],
-        pc: Optional[int] = None,
-    ) -> int:
+    def victim(self, set_idx: int, pc: Optional[int] = None) -> int:
         rrpvs = self._rrpv[set_idx]
+        max_rrpv = self.max_rrpv
         while True:
-            for way in candidate_ways:
-                if rrpvs[way] >= self.max_rrpv:
+            for way, rrpv in enumerate(rrpvs):
+                if rrpv >= max_rrpv:
                     return way
-            for way in candidate_ways:
+            for way in range(len(rrpvs)):
                 rrpvs[way] += 1
 
     def resize_ways(self, num_ways: int) -> None:
@@ -50,4 +46,7 @@ class SrripPolicy(ReplacementPolicy):
             grow = num_ways - self.num_ways
             for row in self._rrpv:
                 row.extend([self.max_rrpv] * grow)
+        elif num_ways < self.num_ways:
+            for row in self._rrpv:
+                del row[num_ways:]
         super().resize_ways(num_ways)

@@ -113,6 +113,10 @@ def simulate_multicore(
     prev_counters = [(0, 0, 0)] * n_cores
     prev_bytes = 0
     accesses_in_epoch = 0
+    # As in the single-core engine: warmup epochs are never resolved or
+    # sampled, so warmup rows stay out of the epoch time-series and
+    # ``dram.epoch_log`` holds only measured-window entries.
+    in_warmup = warmup_accesses_per_core > 0
     traffic_offset: dict = {}
 
     def sample_epoch(loads, epoch_bytes, cycles) -> None:
@@ -149,6 +153,17 @@ def simulate_multicore(
     def close_epoch() -> None:
         nonlocal prev_counters, prev_bytes, accesses_in_epoch
         if accesses_in_epoch == 0:
+            return
+        if in_warmup:
+            for core in range(n_cores):
+                counters = hierarchy.counters[core]
+                prev_counters[core] = (
+                    counters.l2_hits,
+                    counters.llc_hits,
+                    counters.dram_accesses,
+                )
+            prev_bytes = hierarchy.traffic.total_bytes
+            accesses_in_epoch = 0
             return
         loads = []
         for core in range(n_cores):
@@ -194,6 +209,14 @@ def simulate_multicore(
             prev_bytes = hierarchy.traffic.total_bytes
             traffic_offset = hierarchy.traffic.snapshot()
             accesses_in_epoch = 0
+            in_warmup = False
+            if dram.epoch_log:
+                dram.epoch_log.clear()
+            for core in range(n_cores):
+                prev_store[core] = (
+                    sum(t.store.lookups for t in core_triages[core]),
+                    sum(t.store.lookup_hits for t in core_triages[core]),
+                )
         for core in range(n_cores):
             core_records = records[core]
             pc, addr, is_write = core_records[positions[core]]
@@ -212,11 +235,16 @@ def simulate_multicore(
                 if profiling:
                     t_l1pf += time.perf_counter() - t0
             pf = prefetchers[core]
-            if pf is not None and event.trains_l2_prefetcher:
+            # Inlined event.trains_l2_prefetcher (property call per access).
+            if pf is not None and (
+                event.prefetch_hit_kind is not None
+                or event.hit_level in ("llc", "dram")
+            ):
                 if profiling:
                     t0 = time.perf_counter()
                 candidates = pf.observe(
-                    event.pc, event.line, prefetch_hit=event.l2_prefetch_hit
+                    event.pc, event.line,
+                    prefetch_hit=event.prefetch_hit_kind == "l2",
                 )
                 for candidate in candidates:
                     source = hierarchy.prefetch(core, candidate.line, event.pc)

@@ -172,7 +172,14 @@ def simulate(
     # Epoch snapshots.
     prev = (0, 0, 0)  # (l2_hits, llc_hits, dram_accesses)
     prev_bytes = 0
+    prev_coverage = (0, 0)  # (l2_prefetch_hits, would-have-missed)
     accesses_in_epoch = 0
+    #: True until the warmup boundary passes.  Warmup epochs are not
+    #: resolved or sampled at all: their rows would pollute the epoch
+    #: time-series and leave warmup entries in ``dram.epoch_log`` (which
+    #: ``_register_dram_metrics`` folds into the registry), and nothing
+    #: downstream consumes warmup cycles -- the boundary resets them.
+    in_warmup = warmup_accesses > 0
     # Warmup offsets, captured when measurement starts.
     traffic_offset: dict = {}
     metadata_llc_offset = 0
@@ -180,9 +187,13 @@ def simulate(
 
     def sample_epoch(load: EpochLoad, epoch_bytes: int, cycles: float) -> None:
         """One epoch row for the time-series sampler (observing only)."""
+        nonlocal prev_coverage
         dram_info = dram.epoch_log[-1] if dram.epoch_log else {}
         useful = counters.l2_prefetch_hits
         would_miss = useful + counters.l2_demand_misses
+        d_useful = useful - prev_coverage[0]
+        d_would_miss = would_miss - prev_coverage[1]
+        prev_coverage = (useful, would_miss)
         row = {
             "access_idx": counters.accesses,
             "cycles": cycles,
@@ -191,7 +202,7 @@ def simulate(
             "dram_accesses": load.dram_accesses,
             "epoch_bytes": epoch_bytes,
             "llc_data_ways": hierarchy.llc.active_ways,
-            "coverage": useful / would_miss if would_miss else 0.0,
+            "coverage": d_useful / d_would_miss if d_would_miss else 0.0,
             "dram_utilization": dram_info.get("utilization", 0.0),
             "dram_queue_penalty_cycles": dram_info.get("queue_penalty_cycles", 0.0),
         }
@@ -218,6 +229,13 @@ def simulate(
     def close_epoch() -> None:
         nonlocal prev, prev_bytes, accesses_in_epoch, total_cycles
         if accesses_in_epoch == 0:
+            return
+        if in_warmup:
+            # Roll the snapshots without resolving or sampling: warmup
+            # cycles are discarded at the boundary anyway.
+            prev = (counters.l2_hits, counters.llc_hits, counters.dram_accesses)
+            prev_bytes = hierarchy.traffic.total_bytes
+            accesses_in_epoch = 0
             return
         load = EpochLoad(
             instructions=accesses_in_epoch * trace.instr_per_access,
@@ -253,7 +271,19 @@ def simulate(
             total_cycles = 0.0
             prev = (0, 0, 0)
             prev_bytes = hierarchy.traffic.total_bytes
+            prev_coverage = (0, 0)
             accesses_in_epoch = 0
+            in_warmup = False
+            # Observability state gathered during warmup is dropped so a
+            # warmed run reports only measured-window epochs: any stray
+            # warmup records would otherwise inflate the folded
+            # ``dram.queue_penalty_cycles`` registry counter.
+            if dram.epoch_log:
+                dram.epoch_log.clear()
+            prev_store = [
+                (t.store.lookups, t.store.lookup_hits, t.store.evictions)
+                for t in triages
+            ]
         if profiling:
             t0 = time.perf_counter()
         event = hierarchy.access(0, pc, addr, is_write)
@@ -268,11 +298,15 @@ def simulate(
                 hierarchy.prefetch(0, candidate.line, pc, kind="l1")
             if profiling:
                 t_l1pf += time.perf_counter() - t0
-        if pf is not None and event.trains_l2_prefetcher:
+        # Inlined event.trains_l2_prefetcher (property call per access).
+        if pf is not None and (
+            event.prefetch_hit_kind is not None or event.hit_level in ("llc", "dram")
+        ):
             if profiling:
                 t0 = time.perf_counter()
             candidates = pf.observe(
-                event.pc, event.line, prefetch_hit=event.l2_prefetch_hit
+                event.pc, event.line,
+                prefetch_hit=event.prefetch_hit_kind == "l2",
             )
             for candidate in candidates:
                 source = hierarchy.prefetch(0, candidate.line, event.pc)

@@ -43,7 +43,7 @@ def test_policy_averse_lines_evicted_first():
     policy.on_fill(0, 0, pc=0x900)  # friendly
     policy.set_line_key(0, 1, 101)
     policy.on_fill(0, 1, pc=0xBAD)  # averse -> distant RRPV
-    assert policy.victim(0, [0, 1]) == 1
+    assert policy.victim(0) == 1
 
 
 def test_policy_detrains_on_friendly_eviction():
@@ -54,7 +54,7 @@ def test_policy_detrains_on_friendly_eviction():
         policy.on_fill(0, way, pc=pc)
     before = policy.predictor.predict(pc)
     for _ in range(10):
-        policy.victim(0, list(range(4)))
+        policy.victim(0)
     assert before  # sanity: started friendly
     assert not policy.predictor.predict(pc)
 

@@ -1,0 +1,129 @@
+"""Hot-path equivalence goldens: the optimized engine must be bit-identical.
+
+PR 5 rewrote the cache fill/replacement hot path (free-way freelist,
+policy-owned ``victim()``, ``__slots__`` records).  These goldens were
+generated from the *pre-optimization* engine, so any numeric drift here
+means the fast path changed simulation semantics -- exactly what the
+rewrite promised not to do.
+
+The committed golden covers the full :class:`SimulationResult` surface
+(cycles, every counter, per-category traffic, metadata accesses and the
+dynamic-partition history) for a grid of representative configurations:
+the pure-LRU demand path, a best-offset run, and Triage with both a
+fixed and a dynamically partitioned Hawkeye metadata store.
+
+Regenerate (only when a change alters results *intentionally*) with::
+
+    PYTHONPATH=src python tests/test_hotpath_equivalence.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro import cache
+from repro.experiments import common
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "goldens" / "simresult_hotpath.json"
+
+#: Short traces keep the grid under a few seconds yet long enough to
+#: exercise warmup, epoch rollover, LLC eviction pressure and at least
+#: one dynamic-partition decision.
+N_ACCESSES = 12_000
+
+#: (benchmark, prefetcher) cells; all use the default LRU LLC plus (for
+#: the Triage rows) the Hawkeye-managed metadata store.
+CELLS = [
+    ("mcf", "none"),
+    ("mcf", "bo"),
+    ("mcf", "triage_1mb"),
+    ("mcf", "triage_dynamic"),
+    ("omnetpp", "triage_dynamic"),
+]
+
+REL_TOL = 1e-12  # bit-identical up to float formatting in JSON
+
+
+def result_fingerprint(result) -> dict:
+    """Every numeric field of a SimulationResult, JSON-friendly."""
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "counters": asdict(result.counters),
+        "traffic": dict(result.traffic),
+        "metadata_llc_accesses": result.metadata_llc_accesses,
+        "metadata_dram_accesses": result.metadata_dram_accesses,
+        "final_metadata_capacity": result.final_metadata_capacity,
+        "partition_history": list(result.partition_history),
+    }
+
+
+def compute_grid() -> dict:
+    common.clear_caches()
+    try:
+        return {
+            f"{bench}/{pf}": result_fingerprint(
+                common.run_single(bench, pf, n=N_ACCESSES)
+            )
+            for bench, pf in CELLS
+        }
+    finally:
+        common.clear_caches()
+
+
+def assert_cell_equal(got: dict, want: dict, where: str) -> None:
+    assert set(got) == set(want), f"{where}: field set changed"
+    for key, want_value in want.items():
+        got_value = got[key]
+        if isinstance(want_value, dict):
+            assert set(got_value) == set(want_value), f"{where}.{key}: keys changed"
+            for sub, want_sub in want_value.items():
+                assert math.isclose(
+                    got_value[sub], want_sub, rel_tol=REL_TOL, abs_tol=0.0
+                ), f"{where}.{key}.{sub}: {got_value[sub]!r} != {want_sub!r}"
+        elif isinstance(want_value, list):
+            assert got_value == want_value, f"{where}.{key}: {got_value!r} != {want_value!r}"
+        elif isinstance(want_value, float):
+            assert math.isclose(
+                got_value, want_value, rel_tol=REL_TOL, abs_tol=0.0
+            ), f"{where}.{key}: {got_value!r} != {want_value!r}"
+        else:
+            assert got_value == want_value, f"{where}.{key}: {got_value!r} != {want_value!r}"
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    cache.configure(None)
+    yield
+    cache.configure(None)
+
+
+def test_simulation_results_match_pre_optimization_golden():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["n_accesses"] == N_ACCESSES
+    grid = compute_grid()
+    assert set(grid) == set(golden["cells"]), "cell grid changed; regenerate"
+    for cell, want in golden["cells"].items():
+        assert_cell_equal(grid[cell], want, cell)
+
+
+def regenerate() -> None:
+    GOLDEN_PATH.parent.mkdir(exist_ok=True)
+    payload = {"n_accesses": N_ACCESSES, "cells": compute_grid()}
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(payload['cells'])} cells)")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
+        sys.exit(2)
