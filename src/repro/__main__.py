@@ -21,6 +21,13 @@ Subcommands:
                                               interrupted grid from its
                                               checkpoint journal
 * ``python -m repro report DIR``           -- render a flushed obs directory
+* ``python -m repro report html DIR``      -- self-contained HTML report
+                                              (figures, KPIs, energy,
+                                              resilience + cache economics)
+                                              with a report-manifest JSON
+* ``python -m repro dashboard``            -- cross-run KPI/perf dashboard
+                                              over BENCH_*.json trajectories
+                                              with regression highlighting
 * ``python -m repro profile fig05``        -- run with wall-time attribution
 * ``python -m repro cache stats|clear``    -- inspect / empty the on-disk
                                               result cache
@@ -129,12 +136,33 @@ def main(argv=None) -> int:
         help="skip cells already checkpointed by an interrupted run "
         "(needs --cache-dir/REPRO_CACHE_DIR; also REPRO_RESUME=1)",
     )
+    run_parser.add_argument(
+        "--report", action="store_true",
+        help="write a self-contained HTML report next to the observability "
+        "artifacts after the run (implies --obs; also REPRO_REPORT=1)",
+    )
 
     report_parser = sub.add_parser(
-        "report", help="render a flushed observability directory as tables"
+        "report",
+        help="render a flushed observability directory (tables, or "
+        "'report html DIR' for a self-contained HTML report)",
     )
     report_parser.add_argument(
-        "path", help="run directory written by --obs-out (or an epochs.jsonl)"
+        "path",
+        help="run directory written by --obs-out (or an epochs.jsonl); "
+        "pass 'html' first for the HTML report: report html DIR",
+    )
+    report_parser.add_argument(
+        "html_root", nargs="?", default=None, metavar="DIR",
+        help="results root for HTML mode (only with 'report html')",
+    )
+    report_parser.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="HTML mode: output directory (default: <DIR>/report)",
+    )
+    report_parser.add_argument(
+        "--open", action="store_true", dest="open_browser",
+        help="HTML mode: open the generated report in a browser",
     )
     report_parser.add_argument(
         "--columns", nargs="*", default=None,
@@ -203,6 +231,33 @@ def main(argv=None) -> int:
         help="print the comparison as JSON instead of a table",
     )
 
+    dashboard_parser = sub.add_parser(
+        "dashboard",
+        help="render BENCH_*.json trajectories as one HTML dashboard with "
+        "regression highlighting",
+    )
+    dashboard_parser.add_argument(
+        "root", nargs="?", default=".",
+        help="directory searched recursively for BENCH_*.json (or one "
+        "trajectory file; default: current directory)",
+    )
+    dashboard_parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="HTML file to write (default: dashboard.html under the root)",
+    )
+    dashboard_parser.add_argument(
+        "--kpi-tol", type=float, metavar="FRAC", default=0.05,
+        help="relative KPI tolerance for newest-vs-previous (default: 0.05)",
+    )
+    dashboard_parser.add_argument(
+        "--time-tol", type=float, metavar="FRAC", default=0.5,
+        help="relative wall-time slowdown tolerance (default: 0.5)",
+    )
+    dashboard_parser.add_argument(
+        "--json", action="store_true",
+        help="print the dashboard analysis as JSON as well",
+    )
+
     profile_parser = sub.add_parser(
         "profile", help="run one experiment with wall-time phase attribution"
     )
@@ -237,6 +292,15 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "report":
+        if args.path == "html":
+            return _report_html_command(args)
+        if args.html_root is not None:
+            print(
+                "error: a second path is only valid in HTML mode: "
+                "python -m repro report html DIR",
+                file=sys.stderr,
+            )
+            return 2
         import json
 
         from repro.obs.report import load_run_dir, render_report
@@ -256,6 +320,9 @@ def main(argv=None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         return 0
+
+    if args.command == "dashboard":
+        return _dashboard_command(args)
 
     if args.command == "bench":
         return _bench_command(args)
@@ -296,8 +363,9 @@ def main(argv=None) -> int:
         print(session.profiler.table())
         return 0
 
+    want_report = args.report or os.environ.get("REPRO_REPORT", "") not in ("", "0")
     session = None
-    if args.obs or args.obs_out:
+    if args.obs or args.obs_out or want_report:
         out_dir = Path(args.obs_out) if args.obs_out else (
             Path("results") / "obs" / args.experiment
         )
@@ -323,7 +391,73 @@ def main(argv=None) -> int:
                 + ", ".join(str(p) for p in sorted(paths.values()))
             )
             print(f"render with: python -m repro report {session.out_dir}")
+            if want_report:
+                from repro.obs.reporting import ReportError, generate_report
+
+                try:
+                    written = generate_report(session.out_dir)
+                    print(f"HTML report: {written['html']}")
+                except (ReportError, FileNotFoundError) as exc:
+                    print(f"warning: report generation failed: {exc}",
+                          file=sys.stderr)
     return 0
+
+
+def _report_html_command(args) -> int:
+    """``python -m repro report html DIR``: one self-contained HTML file."""
+    from repro.obs.reporting import ReportError, generate_report
+
+    if args.html_root is None:
+        print(
+            "error: HTML mode needs a results root: "
+            "python -m repro report html DIR",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        paths = generate_report(args.html_root, out_dir=args.out)
+    except (ReportError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"HTML report:     {paths['html']}")
+    print(f"report manifest: {paths['manifest']}")
+    if args.open_browser:
+        import webbrowser
+
+        try:  # decoration only: a headless host without a browser is fine
+            webbrowser.open(paths["html"].resolve().as_uri())
+        except Exception as exc:
+            print(f"warning: could not open a browser: {exc}", file=sys.stderr)
+    return 0
+
+
+def _dashboard_command(args) -> int:
+    """``python -m repro dashboard``: 0 ok, 1 regression, 2 nothing found."""
+    import json
+
+    from repro.obs.reporting import generate_dashboard
+
+    try:
+        data = generate_dashboard(
+            args.root,
+            out=args.out,
+            kpi_tol=args.kpi_tol,
+            time_tol=args.time_tol,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(data, indent=1, sort_keys=True))
+    for entry in data["experiments"]:
+        status = "ok" if entry["ok"] else (
+            "REGRESSED: " + ", ".join(entry["regressed_kpis"])
+            if entry["regressed_kpis"]
+            else "REGRESSED"
+        )
+        print(f"{entry['experiment']:<14} {entry['records']:>3} record(s)  {status}")
+    print(f"dashboard: {data['html']}")
+    return 0 if data["ok"] else 1
 
 
 def _bench_command(args) -> int:

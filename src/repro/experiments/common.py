@@ -28,6 +28,7 @@ from repro.prefetchers.misb import MisbPrefetcher
 from repro.prefetchers.sms import SmsPrefetcher
 from repro.prefetchers.stms import StmsPrefetcher
 from repro.core.triage import TriagePrefetcher
+from repro.obs.manifest import log_cached_manifest
 from repro.sim.config import MachineConfig
 from repro.sim.multi_core import simulate_multicore
 from repro.sim.single_core import simulate
@@ -353,6 +354,7 @@ def run_single(
             cached = disk.get_result(disk_key)
             if cached is not None:
                 _RUN_CACHE[key] = cached
+                log_cached_manifest(cached)
                 return cached
         trace = get_trace(bench, n, seed, suite)
         _RUN_CACHE[key] = simulate(
@@ -568,6 +570,7 @@ def run_mix_cached(
             cached = disk.get_result(disk_key)
             if cached is not None:
                 _MIX_CACHE[key] = cached
+                log_cached_manifest(cached)
                 return cached
         _MIX_CACHE[key] = run_mix(
             n_cores,

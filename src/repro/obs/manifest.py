@@ -148,6 +148,28 @@ def build_manifest(
     return manifest
 
 
+def log_cached_manifest(result) -> None:
+    """File a cache-served result's producing manifest with this process.
+
+    Simulation registers manifests through the run observer; a result
+    served from the persistent cache or the resume journal skips
+    simulation entirely, so the cache-hit paths call this to keep both
+    the process-wide :data:`RUN_LOG` and any active obs session carrying
+    the producing run's provenance.  Without it a fully cache-served
+    sweep flushes an empty ``manifests.jsonl`` and its report has no
+    runs to describe.
+    """
+    manifest = getattr(result, "manifest", None)
+    if manifest is None:
+        return
+    RUN_LOG.append(manifest)
+    from repro import obs  # lazy: repro.obs imports this module
+
+    session = obs.get_session()
+    if session is not None:
+        session.manifests.append(manifest)
+
+
 #: Always-on bounded log of recent manifests (newest last).  Bounded so
 #: a long-lived process (the full figure suite) cannot grow it without
 #: limit; 512 comfortably covers any single experiment's run count.

@@ -1,0 +1,294 @@
+"""Inline-SVG chart rendering: grouped bars and multi-series lines.
+
+The report's figures are plain SVG strings -- no matplotlib, no
+JavaScript, no external fonts or fetches -- so the emitted HTML is one
+self-contained artifact that renders anywhere.  Charts are deliberately
+small: a categorical grouped-bar chart (the paper's per-benchmark bar
+grids) and a multi-series line chart (epoch time-series, bench
+trajectories).  Both are deterministic for identical inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from html import escape
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Color-blind-safe categorical palette (cycled past its length).
+PALETTE = (
+    "#4C72B0", "#DD8452", "#55A868", "#C44E52",
+    "#8172B3", "#937860", "#DA8BC3", "#8C8C8C",
+)
+
+#: A series flagged for highlighting (regressions) renders in this color.
+HIGHLIGHT = "#C0392B"
+
+_FONT = "font-family=\"system-ui, sans-serif\""
+
+
+def color(index: int) -> str:
+    return PALETTE[index % len(PALETTE)]
+
+
+def _nice_ceiling(value: float) -> float:
+    """The smallest 1/2/2.5/5 x 10^k at or above ``value``."""
+    if value <= 0:
+        return 1.0
+    exponent = math.floor(math.log10(value))
+    for mantissa in (1.0, 2.0, 2.5, 5.0, 10.0):
+        candidate = mantissa * (10.0 ** exponent)
+        if candidate >= value * (1 - 1e-9):
+            return candidate
+    return 10.0 ** (exponent + 1)
+
+
+def _fmt_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def _axis(x0: float, y0: float, x1: float, y1: float) -> str:
+    return (
+        f'<line x1="{x0:.1f}" y1="{y1:.1f}" x2="{x0:.1f}" y2="{y0:.1f}" '
+        'stroke="#444" stroke-width="1"/>'
+        f'<line x1="{x0:.1f}" y1="{y1:.1f}" x2="{x1:.1f}" y2="{y1:.1f}" '
+        'stroke="#444" stroke-width="1"/>'
+    )
+
+
+def _legend(labels: Sequence[str], colors: Sequence[str], x: float, y: float) -> str:
+    parts = []
+    for i, (label, fill) in enumerate(zip(labels, colors)):
+        ly = y + 16 * i
+        parts.append(
+            f'<rect x="{x:.1f}" y="{ly:.1f}" width="10" height="10" fill="{fill}"/>'
+            f'<text x="{x + 14:.1f}" y="{ly + 9:.1f}" font-size="11" {_FONT}>'
+            f"{escape(str(label))}</text>"
+        )
+    return "".join(parts)
+
+
+def bar_chart(
+    title: str,
+    categories: Sequence[str],
+    series: Dict[str, Sequence[Optional[float]]],
+    ylabel: str = "",
+    width: int = 680,
+    height: int = 300,
+    highlight: Optional[Sequence[str]] = None,
+) -> str:
+    """A grouped bar chart as one ``<svg>`` string.
+
+    ``series`` maps a legend label to one value per category (``None``
+    leaves a gap).  Labels listed in ``highlight`` render in the
+    regression color instead of the palette.
+    """
+    if not categories or not series:
+        return empty_figure(title, "no data")
+    highlight = set(highlight or ())
+    labels = list(series)
+    values = [
+        v
+        for vs in series.values()
+        for v in vs
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    ]
+    if not values:
+        return empty_figure(title, "no numeric data")
+    top = _nice_ceiling(max(max(values), 0.0) * 1.05)
+    bottom = min(0.0, min(values))
+    if bottom < 0:
+        bottom = -_nice_ceiling(-bottom * 1.05)
+    span = top - bottom or 1.0
+
+    margin_left, margin_right = 56.0, 120.0
+    margin_top, margin_bottom = 34.0, 46.0
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    def y_of(value: float) -> float:
+        return margin_top + plot_h * (1 - (value - bottom) / span)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img">',
+        f'<text x="{margin_left}" y="18" font-size="13" font-weight="bold" '
+        f"{_FONT}>{escape(title)}</text>",
+    ]
+    # y gridlines + ticks
+    n_ticks = 4
+    for t in range(n_ticks + 1):
+        value = bottom + span * t / n_ticks
+        y = y_of(value)
+        parts.append(
+            f'<line x1="{margin_left:.1f}" y1="{y:.1f}" '
+            f'x2="{margin_left + plot_w:.1f}" y2="{y:.1f}" '
+            'stroke="#ddd" stroke-width="0.5"/>'
+            f'<text x="{margin_left - 6:.1f}" y="{y + 3.5:.1f}" font-size="10" '
+            f'text-anchor="end" {_FONT}>{_fmt_tick(value)}</text>'
+        )
+    if ylabel:
+        parts.append(
+            f'<text x="14" y="{margin_top + plot_h / 2:.1f}" font-size="10" '
+            f'{_FONT} transform="rotate(-90 14 {margin_top + plot_h / 2:.1f})" '
+            f'text-anchor="middle">{escape(ylabel)}</text>'
+        )
+
+    group_w = plot_w / len(categories)
+    bar_w = max(2.0, min(22.0, 0.8 * group_w / len(labels)))
+    zero_y = y_of(max(0.0, bottom))
+    for c, category in enumerate(categories):
+        group_x = margin_left + c * group_w
+        cluster_w = bar_w * len(labels)
+        start_x = group_x + (group_w - cluster_w) / 2
+        for s, label in enumerate(labels):
+            value = series[label][c] if c < len(series[label]) else None
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            y = y_of(float(value))
+            bar_top, bar_h = (y, zero_y - y) if value >= 0 else (zero_y, y - zero_y)
+            fill = HIGHLIGHT if label in highlight else color(s)
+            parts.append(
+                f'<rect x="{start_x + s * bar_w:.1f}" y="{bar_top:.1f}" '
+                f'width="{bar_w - 1:.1f}" height="{max(bar_h, 0.5):.1f}" '
+                f'fill="{fill}"><title>{escape(str(category))} / '
+                f"{escape(str(label))}: {float(value):.4g}</title></rect>"
+            )
+        parts.append(
+            f'<text x="{group_x + group_w / 2:.1f}" '
+            f'y="{margin_top + plot_h + 14:.1f}" font-size="10" '
+            f'text-anchor="middle" {_FONT}>{escape(str(category))}</text>'
+        )
+    parts.append(_axis(margin_left, margin_top, margin_left + plot_w, margin_top + plot_h))
+    parts.append(
+        _legend(
+            labels,
+            [HIGHLIGHT if l in highlight else color(i) for i, l in enumerate(labels)],
+            margin_left + plot_w + 10,
+            margin_top,
+        )
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def line_chart(
+    title: str,
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 680,
+    height: int = 280,
+    highlight: Optional[Sequence[str]] = None,
+) -> str:
+    """A multi-series line chart as one ``<svg>`` string.
+
+    ``series`` maps a legend label to ``(x, y)`` points (sorted by the
+    caller); markers are drawn at every point so single-point series
+    stay visible.
+    """
+    points = [
+        (float(x), float(y))
+        for pts in series.values()
+        for x, y in pts
+    ]
+    if not points:
+        return empty_figure(title, "no data")
+    highlight = set(highlight or ())
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min = min(min(ys), 0.0)
+    y_max = _nice_ceiling(max(ys) * 1.05) if max(ys) > 0 else max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    margin_left, margin_right = 56.0, 120.0
+    margin_top, margin_bottom = 34.0, 46.0
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    def sx(x: float) -> float:
+        return margin_left + plot_w * (x - x_min) / x_span
+
+    def sy(y: float) -> float:
+        return margin_top + plot_h * (1 - (y - y_min) / y_span)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img">',
+        f'<text x="{margin_left}" y="18" font-size="13" font-weight="bold" '
+        f"{_FONT}>{escape(title)}</text>",
+    ]
+    n_ticks = 4
+    for t in range(n_ticks + 1):
+        value = y_min + y_span * t / n_ticks
+        y = sy(value)
+        parts.append(
+            f'<line x1="{margin_left:.1f}" y1="{y:.1f}" '
+            f'x2="{margin_left + plot_w:.1f}" y2="{y:.1f}" '
+            'stroke="#ddd" stroke-width="0.5"/>'
+            f'<text x="{margin_left - 6:.1f}" y="{y + 3.5:.1f}" font-size="10" '
+            f'text-anchor="end" {_FONT}>{_fmt_tick(value)}</text>'
+        )
+        x_value = x_min + x_span * t / n_ticks
+        parts.append(
+            f'<text x="{sx(x_value):.1f}" y="{margin_top + plot_h + 14:.1f}" '
+            f'font-size="10" text-anchor="middle" {_FONT}>'
+            f"{_fmt_tick(x_value)}</text>"
+        )
+    if ylabel:
+        parts.append(
+            f'<text x="14" y="{margin_top + plot_h / 2:.1f}" font-size="10" '
+            f'{_FONT} transform="rotate(-90 14 {margin_top + plot_h / 2:.1f})" '
+            f'text-anchor="middle">{escape(ylabel)}</text>'
+        )
+    if xlabel:
+        parts.append(
+            f'<text x="{margin_left + plot_w / 2:.1f}" y="{height - 8:.1f}" '
+            f'font-size="10" text-anchor="middle" {_FONT}>{escape(xlabel)}</text>'
+        )
+
+    labels = list(series)
+    for s, label in enumerate(labels):
+        pts = sorted((float(x), float(y)) for x, y in series[label])
+        if not pts:
+            continue
+        stroke = HIGHLIGHT if label in highlight else color(s)
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{sx(x):.1f},{sy(y):.1f}"
+            for i, (x, y) in enumerate(pts)
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{stroke}" stroke-width="1.5"/>'
+        )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.2" '
+                f'fill="{stroke}"><title>{escape(str(label))}: '
+                f"({x:.4g}, {y:.4g})</title></circle>"
+            )
+    parts.append(_axis(margin_left, margin_top, margin_left + plot_w, margin_top + plot_h))
+    parts.append(
+        _legend(
+            labels,
+            [HIGHLIGHT if l in highlight else color(i) for i, l in enumerate(labels)],
+            margin_left + plot_w + 10,
+            margin_top,
+        )
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def empty_figure(title: str, reason: str, width: int = 680, height: int = 80) -> str:
+    """A placeholder SVG explaining why a figure could not be drawn."""
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img">'
+        f'<text x="12" y="24" font-size="13" font-weight="bold" {_FONT}>'
+        f"{escape(title)}</text>"
+        f'<text x="12" y="48" font-size="11" fill="#777" {_FONT}>'
+        f"({escape(reason)})</text></svg>"
+    )

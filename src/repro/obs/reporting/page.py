@@ -1,0 +1,129 @@
+"""Shared static-HTML building blocks for reports and dashboards.
+
+Everything emitted here is self-contained: one inline ``<style>`` block,
+no ``<script>``, no external stylesheets, fonts, images or fetches of
+any kind.  The only URLs in an emitted page are SVG XML namespaces,
+which browsers never dereference.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Dict, List, Optional, Sequence
+
+#: Inline stylesheet shared by every emitted page.
+CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 72rem;
+       color: #222; line-height: 1.45; padding: 0 1rem; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #4C72B0; padding-bottom: .3rem; }
+h2 { font-size: 1.15rem; margin-top: 2rem; color: #2c3e50; }
+h3 { font-size: 1rem; margin-top: 1.2rem; color: #2c3e50; }
+table { border-collapse: collapse; margin: .6rem 0; font-size: .85rem; }
+th, td { border: 1px solid #ccc; padding: .25rem .55rem; text-align: left; }
+th { background: #eef2f7; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr.regressed td { background: #fdecea; }
+tr.ok td.status, td.status-ok { color: #1e7d32; }
+td.status-regressed { color: #c0392b; font-weight: bold; }
+.problem { color: #a15c07; background: #fff8e6; padding: .4rem .6rem;
+           border-left: 3px solid #e0a800; margin: .25rem 0; font-size: .85rem; }
+.meta { color: #666; font-size: .85rem; }
+.badge-ok { color: #1e7d32; font-weight: bold; }
+.badge-regressed { color: #c0392b; font-weight: bold; }
+figure { margin: 1rem 0; }
+figcaption { font-size: .8rem; color: #666; }
+code { background: #f4f4f4; padding: 0 .25rem; border-radius: 3px; }
+details > summary { cursor: pointer; color: #4C72B0; }
+"""
+
+
+def html_page(title: str, body: str, generator: str = "repro.obs.reporting") -> str:
+    """A complete standalone HTML document around ``body``."""
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{escape(title)}</title>\n"
+        f'<meta name="generator" content="{escape(generator)}">\n'
+        f"<style>{CSS}</style>\n"
+        f"</head><body>\n<h1>{escape(title)}</h1>\n{body}\n</body></html>\n"
+    )
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def html_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    row_classes: Optional[Sequence[str]] = None,
+    cell_classes: Optional[Dict[int, str]] = None,
+) -> str:
+    """An HTML table; numeric cells get the ``num`` class automatically.
+
+    ``row_classes`` assigns one CSS class per row (empty string for
+    none); ``cell_classes`` maps a column index to an extra class.
+    """
+    cell_classes = cell_classes or {}
+    parts = ["<table><thead><tr>"]
+    parts.extend(f"<th>{escape(str(h))}</th>" for h in headers)
+    parts.append("</tr></thead><tbody>")
+    for r, row in enumerate(rows):
+        cls = row_classes[r] if row_classes and r < len(row_classes) else ""
+        parts.append(f'<tr class="{escape(cls)}">' if cls else "<tr>")
+        for c, cell in enumerate(row):
+            classes = []
+            if isinstance(cell, (int, float)) and not isinstance(cell, bool):
+                classes.append("num")
+            if c in cell_classes:
+                classes.append(cell_classes[c])
+            attr = f' class="{" ".join(classes)}"' if classes else ""
+            parts.append(f"<td{attr}>{escape(_format_cell(cell))}</td>")
+        parts.append("</tr>")
+    parts.append("</tbody></table>")
+    return "".join(parts)
+
+
+def section(title: str, *chunks: str, anchor: Optional[str] = None) -> str:
+    """An ``<h2>`` section wrapping pre-rendered HTML chunks."""
+    ident = f' id="{escape(anchor)}"' if anchor else ""
+    return f"<h2{ident}>{escape(title)}</h2>\n" + "\n".join(c for c in chunks if c)
+
+
+def problems_html(problems: Sequence[str]) -> str:
+    """Degradation notes as visually distinct callouts ('' when none)."""
+    if not problems:
+        return ""
+    return "\n".join(f'<p class="problem">{escape(p)}</p>' for p in problems)
+
+
+def figure_html(svg: str, caption: str = "") -> str:
+    cap = f"<figcaption>{escape(caption)}</figcaption>" if caption else ""
+    return f"<figure>{svg}{cap}</figure>"
+
+
+def kv_table(data: Dict[str, object]) -> str:
+    """A two-column key/value table (sorted keys) for dict-shaped facts."""
+    return html_table(
+        ["key", "value"], [[k, data[k]] for k in sorted(data)]
+    )
+
+
+def self_containment_violations(html: str) -> List[str]:
+    """Markup constructs that would make a page fetch external resources.
+
+    The report tests assert this returns ``[]`` for every emitted page;
+    keeping the checker next to the builders keeps the invariant honest.
+    """
+    violations = []
+    lowered = html.lower()
+    for needle in ("<script", "<link", "<iframe", "@import", "url(", "src=\"http"):
+        if needle in lowered:
+            violations.append(needle)
+    return violations

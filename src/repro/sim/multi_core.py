@@ -336,6 +336,7 @@ def simulate_multicore(
         traffic=traffic,
         manifest=manifest,
     )
+    manifest.extra["kpis"] = result.kpis()
     if run is not None:
         for core in range(n_cores):
             _register_run_metrics(

@@ -43,13 +43,14 @@ from __future__ import annotations
 
 import os
 import sys
+import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence
 
 from repro import cache, faults, resilience
 from repro.core.triage import TriageConfig
 from repro.obs import get_session
-from repro.obs.manifest import RUN_LOG, RunManifest
+from repro.obs.manifest import RUN_LOG, RunManifest, log_cached_manifest
 from repro.sim.single_core import simulate
 from repro.sim.stats import MultiCoreResult, SimulationResult
 from repro.workloads import spec as spec_workloads
@@ -271,8 +272,7 @@ def simulate_sweep_cell(cell: Cell) -> SimulationResult:
         if key is not None:
             hit = store.get_result(key)
             if hit is not None:
-                if hit.manifest is not None:
-                    RUN_LOG.append(hit.manifest)
+                log_cached_manifest(hit)
                 return hit
     trace = _sweep_trace(cell, store)
     result = simulate(
@@ -447,6 +447,20 @@ def run_cells(
     )
     session = get_session()
     emit = session.events.emit if session is not None else None
+    wall_start = time.perf_counter()
+    tallies = {"retries": 0, "timeouts": 0}
+    if emit is not None:
+        # Count retry/timeout events on the way through so the closing
+        # sweep.summary can report them even if the bounded event ring
+        # has since evicted the individual records.
+        inner_emit = emit
+
+        def emit(category: str, severity: str = "info", **fields) -> None:
+            if category == "resilience.retry":
+                tallies["retries"] += 1
+            elif category == "resilience.cell_timeout":
+                tallies["timeouts"] += 1
+            inner_emit(category, severity, **fields)
 
     if n_jobs > 1 and not all(_parallel_safe(cell) for cell in cells):
         unsafe = sum(1 for cell in cells if not _parallel_safe(cell))
@@ -468,6 +482,8 @@ def run_cells(
         n_jobs = 1
 
     store = cache.get_cache()
+    cache_hits_before = store.hits if store is not None else 0
+    cache_misses_before = store.misses if store is not None else 0
     n = len(cells)
     identities = [cell_identity(cell) for cell in cells]
     result_keys = [
@@ -497,12 +513,36 @@ def run_cells(
                 continue  # journaled but evicted/uncached: re-run it
             results[i] = hit
             prefilled[i] = True
-            _log_manifests(hit)
+            log_cached_manifest(hit)
             if emit is not None:
                 emit("resilience.resume_skip", "info", cell=i, cell_key=identity)
 
+    completed = [0]
+
+    def emit_summary(status: str, failed: int = 0) -> None:
+        """One closing ``sweep.summary`` event: the grid's economics."""
+        if emit is None:
+            return
+        emit(
+            "sweep.summary",
+            "info",
+            status=status,
+            cells_total=n,
+            executed=completed[0],
+            resumed=sum(prefilled),
+            retries=tallies["retries"],
+            timeouts=tallies["timeouts"],
+            failed=failed,
+            cache_hits=(store.hits - cache_hits_before) if store is not None else 0,
+            cache_misses=(
+                store.misses - cache_misses_before if store is not None else 0
+            ),
+            wall_s=time.perf_counter() - wall_start,
+        )
+
     todo = [i for i in range(n) if not prefilled[i]]
     if not todo:
+        emit_summary("ok")
         return results
 
     plan = faults.get_plan()
@@ -520,6 +560,7 @@ def run_cells(
 
     def on_complete(position: int, output: object) -> None:
         index = todo[position]
+        completed[0] += 1
         if journal is not None and identities[index] is not None:
             journal.record(identities[index], result_keys[index])
 
@@ -537,11 +578,15 @@ def run_cells(
     except resilience.SweepInterrupted:
         # Finished cells are already journaled and cached; flush the obs
         # session so partial metrics/events/manifests survive the exit.
+        emit_summary("interrupted")
         if session is not None and session.out_dir is not None:
             try:
                 session.flush()
             except Exception:
                 pass
+        raise
+    except resilience.CellFailed:
+        emit_summary("failed", failed=1)
         raise
 
     for position, index in enumerate(todo):
@@ -569,4 +614,5 @@ def run_cells(
                 task=str(cells[index].get("task")),
                 seconds=seconds,
             )
+    emit_summary("ok")
     return results

@@ -260,6 +260,7 @@ def simulate_queued(
         metadata_dram_accesses=metadata_dram,
         manifest=manifest,
     )
+    manifest.extra["kpis"] = result.kpis()
     # Engine-specific extras travel in the counters-adjacent fields.
     result.late_prefetch_hits = late_prefetch_hits
     result.dropped_prefetches = dropped_prefetches

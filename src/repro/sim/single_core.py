@@ -379,6 +379,7 @@ def simulate(
         partition_history=partition_history,
         manifest=manifest,
     )
+    manifest.extra["kpis"] = result.kpis()
     if run is not None:
         _register_run_metrics(session, counters, triages)
         _register_dram_metrics(session, dram)

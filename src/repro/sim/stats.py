@@ -83,6 +83,24 @@ class SimulationResult:
             return 0.0
         return 1.0 - self.counters.dram_accesses / base
 
+    def kpis(self) -> Dict[str, float]:
+        """The headline metrics as one flat dict.
+
+        Engines stamp this into ``manifest.extra["kpis"]`` so flushed
+        manifests carry the run's KPIs without needing the (much larger)
+        counter state -- the reporting layer builds its figures and the
+        Figure-13 energy section from these stamps alone.
+        """
+        return {
+            "ipc": self.ipc,
+            "coverage": self.coverage,
+            "accuracy": self.accuracy,
+            "traffic_bytes": float(self.total_traffic_bytes),
+            "dram_accesses": float(self.counters.dram_accesses),
+            "metadata_llc_accesses": float(self.metadata_llc_accesses),
+            "metadata_dram_accesses": float(self.metadata_dram_accesses),
+        }
+
 
 @dataclass
 class MultiCoreResult:
@@ -119,6 +137,26 @@ class MultiCoreResult:
         if base <= 0:
             return 0.0
         return (self.total_traffic_bytes - base) / base
+
+    def kpis(self) -> Dict[str, float]:
+        """Mix-level KPI stamp: core sums/means plus total traffic."""
+        cores = self.per_core
+        n = len(cores) or 1
+        return {
+            "ipc": sum(r.ipc for r in cores) / n,
+            "coverage": sum(r.coverage for r in cores) / n,
+            "accuracy": sum(r.accuracy for r in cores) / n,
+            "traffic_bytes": float(self.total_traffic_bytes),
+            "dram_accesses": float(
+                sum(r.counters.dram_accesses for r in cores)
+            ),
+            "metadata_llc_accesses": float(
+                sum(r.metadata_llc_accesses for r in cores)
+            ),
+            "metadata_dram_accesses": float(
+                sum(r.metadata_dram_accesses for r in cores)
+            ),
+        }
 
 
 def geomean(values: List[float]) -> float:

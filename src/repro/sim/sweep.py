@@ -24,6 +24,8 @@ relative to the serial, uncached path.
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
@@ -84,6 +86,7 @@ def sweep(
     retries: Optional[int] = None,
     cell_timeout: Optional[float] = None,
     resume: Optional[bool] = None,
+    report: Optional[bool] = None,
 ) -> List[SweepRecord]:
     """Run every (benchmark x prefetcher) combination.
 
@@ -106,6 +109,11 @@ def sweep(
     ``resume=True`` (or ``REPRO_RESUME=1``) skips journaled cells whose
     results are still cached, so an interrupted grid picks up where it
     stopped instead of restarting.  See ``docs/resilience.md``.
+
+    ``report=True`` (or ``REPRO_REPORT=1``) drops a self-contained HTML
+    report (:mod:`repro.obs.reporting`) into the active obs session's
+    output directory after the grid completes; it is a no-op without an
+    obs session that has an ``out_dir``.  See ``docs/reporting.md``.
     """
     machine = machine or MachineConfig.scaled(scale)
     warmup = int(n_accesses * warmup_fraction)
@@ -155,7 +163,38 @@ def sweep(
                     baseline=baseline,
                 )
             )
+    if report is None:
+        report = os.environ.get("REPRO_REPORT", "") not in ("", "0")
+    if report:
+        _drop_report()
     return records
+
+
+def _drop_report() -> None:
+    """Flush the active obs session and write a report beside its artifacts.
+
+    Report generation is best-effort decoration of a finished sweep: a
+    failure here (e.g. no session output directory) warns on stderr
+    rather than discarding the computed records.
+    """
+    from repro.obs import get_session
+
+    session = get_session()
+    if session is None or session.out_dir is None:
+        print(
+            "warning: sweep(report=True) needs an obs session with an "
+            "output directory; skipping report generation",
+            file=sys.stderr,
+        )
+        return
+    try:
+        session.flush()
+        from repro.obs.reporting import generate_report
+
+        paths = generate_report(session.out_dir)
+        print(f"sweep report: {paths['html']}", file=sys.stderr)
+    except Exception as exc:
+        print(f"warning: sweep report generation failed: {exc}", file=sys.stderr)
 
 
 def records_to_csv(records: Sequence[SweepRecord]) -> str:
