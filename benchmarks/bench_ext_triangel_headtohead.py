@@ -1,0 +1,30 @@
+"""Regenerate the Triage-vs-Triangel head-to-head extension."""
+
+from conftest import run_experiment
+from repro.experiments import ext_triangel_headtohead
+from repro.experiments.ext_triangel_headtohead import CONFIGS
+
+
+def test_ext_triangel_headtohead(benchmark):
+    table = run_experiment(
+        benchmark, ext_triangel_headtohead, "ext_triangel_headtohead"
+    )
+    col = {c: 1 + 3 * i for i, c in enumerate(CONFIGS)}
+    for row in table.rows:
+        # The degenerate Triangel config is differential-tested to emit
+        # the same prefetch stream as Triage_1MB; here the contract must
+        # survive end-to-end through the figure harness -- speedup,
+        # coverage and accuracy all exactly equal, on every benchmark.
+        for off in range(3):
+            assert (
+                row[col["triangel_nosample"] + off]
+                == row[col["triage_1mb"] + off]
+            ), (row[0], off)
+    geo = table.row("geomean/avg")
+    # Full Triangel at matched budget: sampling + lookahead + reuse-aware
+    # replacement must not *lose* to the Triage it was built to improve.
+    assert geo[col["triangel"]] >= 0.99 * geo[col["triage_1mb"]]
+    # The dynamic pair is looser: the Sample Table's allocation gate
+    # starves the partition controller's usefulness signal early in an
+    # epoch, so the families trade a couple of percent either way.
+    assert geo[col["triangel_dynamic"]] >= 0.95 * geo[col["triage_dynamic"]]

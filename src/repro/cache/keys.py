@@ -80,20 +80,45 @@ def stable_hash(payload) -> str:
     return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
 
 
+def _name_is_registered(name: str) -> bool:
+    """Whether any builder (factory or experiments) knows ``name``."""
+    from repro.experiments import common
+    from repro.sim import factory
+
+    return factory.is_registered(name) or common.is_registered(name)
+
+
 def spec_fingerprint(spec) -> Dict[str, object]:
     """A canonical dict identifying a prefetcher spec, for key building.
 
     Accepts the cache-friendly subset of
-    :data:`~repro.sim.factory.PrefetcherSpec`: ``None``, a name string,
-    or a ``TriageConfig``.  Instances and factories raise
-    :class:`UncacheableSpec`.
+    :data:`~repro.sim.factory.PrefetcherSpec`: ``None``, a *registered*
+    name string, or a ``TriageConfig`` (including subclasses such as
+    ``TriangelConfig`` -- :func:`canonicalize` folds the concrete class
+    name into the fingerprint, so a Triangel config never collides with
+    the Triage config sharing its fields).
+
+    Name strings are validated against the builder registries
+    (``sim.factory.is_registered`` and ``experiments.common.
+    is_registered``): an unknown name raises :class:`UncacheableSpec`
+    instead of silently hashing -- a typo like ``"traige_1mb"`` would
+    otherwise mint its own cache namespace and every run under it would
+    miss forever while looking healthy.  Instances and factories also
+    raise :class:`UncacheableSpec`.
     """
     from repro.core.triage import TriageConfig
 
     if spec is None:
         return {"kind": "none"}
     if isinstance(spec, str):
-        return {"kind": "name", "name": spec.lower().strip()}
+        name = spec.lower().strip()
+        if not _name_is_registered(name):
+            raise UncacheableSpec(
+                f"unknown prefetcher name {spec!r}: not registered with "
+                "sim.factory.make_prefetcher or experiments.common.make_spec "
+                "(refusing to hash a name no builder can construct)"
+            )
+        return {"kind": "name", "name": name}
     if isinstance(spec, TriageConfig):
         return {"kind": "triage_config", "config": canonicalize(spec)}
     raise UncacheableSpec(

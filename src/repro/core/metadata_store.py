@@ -10,13 +10,23 @@ by the trigger address -- exactly how this class is organized.
 
 Anything evicted is simply discarded: Triage has no off-chip metadata.
 Replacement is the modified Hawkeye policy by default (``policy="lru"``
-reproduces the paper's Figure 9 ablation); the Hawkeye sampler is fed by
-the owner (:class:`repro.core.triage.TriagePrefetcher`) so that metadata
-accesses producing *redundant* prefetches never train it.
+reproduces the paper's Figure 9 ablation, ``policy="reuse"`` is the
+Triangel family's metadata-reuse-aware policy); the Hawkeye sampler is
+fed by the owner (:class:`repro.core.triage.TriagePrefetcher`) so that
+metadata accesses producing *redundant* prefetches never train it.
+
+``index_mode="nonuniform"`` enables a Trimma-style (arXiv 2402.16343)
+non-uniform metadata index: a small fully-associative *near* buffer in
+front of the set-associative *far* array.  Hot triggers are re-resolved
+from the near level without touching the far structure at all -- no LLC
+access is charged and the far replacement state is not perturbed --
+modeling Trimma's observation that metadata lookups are heavily skewed
+and the hot subset deserves a cheaper, finer-grained index level.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -24,12 +34,17 @@ from repro.core.compressed_tags import CompressedTagTable
 from repro.replacement.base import ReplacementPolicy
 from repro.replacement.hawkeye import HawkeyePolicy, HawkeyePredictor
 from repro.replacement.lru import LruPolicy
+from repro.replacement.reuse_aware import ReuseAwarePolicy
 
 #: 4-byte entries, 16 per 64 B LLC line.
 ENTRY_BYTES = 4
 ENTRIES_PER_LINE = 16
 #: Bits of the successor's set_id stored verbatim (2048-set LLC, Table 1).
 SET_ID_BITS = 11
+#: Near-index capacity for ``index_mode="nonuniform"`` (entries).  Small
+#: by design: Trimma's point is that a tiny near level captures most
+#: lookups, not that the near level competes with the far array.
+NEAR_INDEX_ENTRIES = 64
 
 
 @dataclass(slots=True)
@@ -61,10 +76,21 @@ class MetadataStore:
         use_compressed_tags: bool = True,
         tag_bits: int = 10,
         track_reuse: bool = False,
+        index_mode: str = "uniform",
+        near_entries: int = NEAR_INDEX_ENTRIES,
     ):
+        if index_mode not in ("uniform", "nonuniform"):
+            raise ValueError(f"unknown index mode {index_mode!r}")
         self.policy_name = policy
         self.use_compressed_tags = use_compressed_tags
         self.tag_bits = tag_bits
+        self.index_mode = index_mode
+        #: Near-level index (non-uniform mode): trigger -> resident
+        #: entry, LRU-bounded.  Entries are shared objects with the far
+        #: array, so in-place confidence/successor updates stay coherent;
+        #: eviction and resize invalidate near copies explicitly.
+        self._near: "OrderedDict[int, MetadataEntry]" = OrderedDict()
+        self._near_capacity = near_entries if index_mode == "nonuniform" else 0
         #: Optional observability sink (``.emit(category, severity, **f)``),
         #: attached by the simulation engine when tracing is enabled.
         self.events = None
@@ -83,6 +109,9 @@ class MetadataStore:
         self.update_agreements = 0
         self.update_conflicts = 0
         self.llc_accesses = 0  # energy model: each lookup/update touches LLC
+        #: Lookups served by the near index level (non-uniform mode only);
+        #: these are *not* counted into ``llc_accesses``.
+        self.near_hits = 0
         self.unbounded = capacity_bytes is None
         self._unbounded_map: Dict[int, MetadataEntry] = {}
         self.capacity_bytes = 0
@@ -142,6 +171,7 @@ class MetadataStore:
                 survivors=len(old_entries),
             )
         self.capacity_bytes = capacity_bytes
+        self._near.clear()  # near copies would go stale across re-indexing
         self.num_sets = _floor_pow2(capacity_bytes // (ENTRY_BYTES * ENTRIES_PER_LINE))
         self._ways = [[None] * ENTRIES_PER_LINE for _ in range(self.num_sets)]
         self._index = [dict() for _ in range(self.num_sets)]
@@ -161,6 +191,8 @@ class MetadataStore:
             )
         elif self.policy_name == "lru":
             self._policy = LruPolicy(self.num_sets, ENTRIES_PER_LINE)
+        elif self.policy_name == "reuse":
+            self._policy = ReuseAwarePolicy(self.num_sets, ENTRIES_PER_LINE)
         else:
             raise ValueError(f"unsupported metadata policy {self.policy_name!r}")
         self._hawkeye = (
@@ -198,8 +230,23 @@ class MetadataStore:
         replacement predictors on every metadata access) but does NOT feed
         the Hawkeye sampler -- the owner decides that after learning
         whether the resulting prefetch was redundant.
+
+        In non-uniform index mode the near level is probed first: a near
+        hit is served without charging an LLC access or touching the far
+        replacement state (Trimma's cheap hot-path level).
         """
         self.lookups += 1
+        if self._near_capacity:
+            near = self._near.get(trigger)
+            if near is not None:
+                self._near.move_to_end(trigger)
+                self.near_hits += 1
+                self.lookup_hits += 1
+                if self.track_reuse:
+                    self.reuse_counts[trigger] = (
+                        self.reuse_counts.get(trigger, 0) + 1
+                    )
+                return self._decode(near)
         self.llc_accesses += 1
         if self.unbounded:
             entry = self._unbounded_map.get(trigger)
@@ -218,6 +265,8 @@ class MetadataStore:
             self.reuse_counts[trigger] = self.reuse_counts.get(trigger, 0) + 1
         if not self.unbounded and self._policy is not None:
             self._policy.on_hit(set_idx, way, pc)
+        if self._near_capacity:
+            self._near_insert(entry)
         return self._decode(entry)
 
     def update(self, trigger: int, next_line: int, pc: int = 0) -> None:
@@ -297,6 +346,13 @@ class MetadataStore:
 
     # -- internals -----------------------------------------------------------
 
+    def _near_insert(self, entry: MetadataEntry) -> None:
+        """Refresh ``entry`` into the LRU-bounded near index level."""
+        self._near[entry.trigger] = entry
+        self._near.move_to_end(entry.trigger)
+        if len(self._near) > self._near_capacity:
+            self._near.popitem(last=False)
+
     def _find(self, trigger: int) -> Optional[MetadataEntry]:
         if self.unbounded:
             return self._unbounded_map.get(trigger)
@@ -319,6 +375,7 @@ class MetadataStore:
             victim = ways[way]
             assert victim is not None
             del index[victim.trigger]
+            self._near.pop(victim.trigger, None)  # drop stale near copy
             self._policy.on_evict(set_idx, way)
             self.evictions += 1
             if self.events is not None:

@@ -71,6 +71,11 @@ class TriageConfig:
     llc_data_bytes: int = 2 * MB
     use_compressed_tags: bool = True
     tag_bits: int = 10
+    #: Metadata index geometry: "uniform" is the paper's single
+    #: set-associative array; "nonuniform" adds a Trimma-style near
+    #: index level in front of it (arXiv 2402.16343 ablation -- see
+    #: :class:`repro.core.metadata_store.MetadataStore`).
+    index_mode: str = "uniform"
     training_pcs: int = 1024
     threshold: float = 0.05
     pc_localized: bool = True  # ablation: False degrades to a global stream
@@ -124,6 +129,7 @@ class TriagePrefetcher(BasePrefetcher):
             use_compressed_tags=config.use_compressed_tags and not unbounded,
             tag_bits=config.tag_bits,
             track_reuse=config.track_reuse,
+            index_mode=config.index_mode,
         )
         #: Called with the new metadata capacity (bytes) whenever the
         #: dynamic controller re-partitions; the simulation engine uses it

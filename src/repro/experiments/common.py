@@ -28,6 +28,7 @@ from repro.prefetchers.misb import MisbPrefetcher
 from repro.prefetchers.sms import SmsPrefetcher
 from repro.prefetchers.stms import StmsPrefetcher
 from repro.core.triage import TriagePrefetcher
+from repro.prefetchers.triangel import TriangelConfig, TriangelPrefetcher
 from repro.obs.manifest import log_cached_manifest
 from repro.sim.config import MachineConfig
 from repro.sim.multi_core import simulate_multicore
@@ -104,6 +105,33 @@ def triage_config(
     )
 
 
+def triangel_config(
+    capacity: Optional[int] = CAP_LARGE,
+    dynamic: bool = False,
+    replacement: str = "reuse",
+    degree: int = 1,
+    epoch_accesses: int = EPOCH_ACCESSES,
+    scale: int = SCALE,
+    **overrides,
+) -> TriangelConfig:
+    """A TriangelConfig wired for a machine at the given scale.
+
+    Same scaling as :func:`triage_config`; only the defaults differ
+    (reuse-aware replacement, lookahead 2, sampling on -- the family's
+    own knobs come from :class:`TriangelConfig`).
+    """
+    return TriangelConfig(
+        degree=degree,
+        metadata_capacity=capacity,
+        dynamic=dynamic,
+        capacities=capacities_for_scale(scale),
+        replacement=replacement,
+        epoch_accesses=epoch_accesses,
+        partition_warmup_epochs=8,
+        **overrides,
+    )
+
+
 def make_spec(name: str, degree: int = 1, scale: int = SCALE):
     """Build a prefetcher by paper-facing name for a machine at ``scale``.
 
@@ -157,6 +185,29 @@ def make_spec(name: str, degree: int = 1, scale: int = SCALE):
                 pc_localized=False,
             )
         ),
+        "triangel": lambda: TriangelPrefetcher(
+            triangel_config(capacity=cap_large, degree=degree, scale=scale)
+        ),
+        "triangel_512kb": lambda: TriangelPrefetcher(
+            triangel_config(capacity=cap_small, degree=degree, scale=scale)
+        ),
+        "triangel_dynamic": lambda: TriangelPrefetcher(
+            triangel_config(dynamic=True, degree=degree, scale=scale)
+        ),
+        # Degenerate config: sampling off, lookahead 1, Hawkeye
+        # replacement -- issues Triage's exact stream (differential anchor).
+        "triangel_nosample": lambda: TriangelPrefetcher(
+            triangel_config(
+                capacity=cap_large, degree=degree, scale=scale,
+                sampling=False, lookahead=1, replacement="hawkeye",
+            )
+        ),
+        "triangel_nonuniform": lambda: TriangelPrefetcher(
+            triangel_config(
+                capacity=cap_large, degree=degree, scale=scale,
+                index_mode="nonuniform",
+            )
+        ),
     }
     name = name.lower()
     if "+" in name:
@@ -183,6 +234,63 @@ def make_spec(name: str, degree: int = 1, scale: int = SCALE):
         raise ValueError(f"unknown experiment prefetcher {name!r}") from None
 
 
+#: Every name :func:`make_spec` can build (hybrids and the ``triage@``
+#: sweep pattern are handled structurally in :func:`is_registered`).
+#: Kept as an explicit literal so :mod:`repro.cache.keys` can validate
+#: names without building prefetchers; a test asserts every member
+#: actually builds.
+SPEC_NAMES = frozenset(
+    {
+        "none",
+        "bo",
+        "sms",
+        "stms",
+        "domino",
+        "isb",
+        "misb",
+        "triage_512kb",
+        "triage_1mb",
+        "triage_dynamic",
+        "triage_utility",
+        "triage_lru",
+        "triage_ideal",
+        "triage_noconf",
+        "triage_global",
+        "triangel",
+        "triangel_512kb",
+        "triangel_dynamic",
+        "triangel_nosample",
+        "triangel_nonuniform",
+    }
+)
+
+
+def is_registered(name: str) -> bool:
+    """Whether :func:`make_spec` can build ``name``.
+
+    Handles hybrid ``a+b`` names (every component must be registered)
+    and the ``triage@<bytes>[:repl[:tagbits]]`` sweep pattern.
+    """
+    if not isinstance(name, str):
+        return False
+    name = name.lower().strip()
+    if "+" in name:
+        parts = [p for p in name.split("+") if p]
+        return bool(parts) and all(is_registered(p) for p in parts)
+    if name.startswith("triage@"):
+        parts = name.split("@", 1)[1].split(":")
+        try:
+            int(parts[0])
+            if len(parts) > 2:
+                int(parts[2])
+        except ValueError:
+            return False
+        if len(parts) > 1 and parts[1] not in ("hawkeye", "lru", "reuse"):
+            return False
+        return len(parts) <= 3
+    return name in SPEC_NAMES
+
+
 #: Paper-facing labels for the configurations above.
 LABELS = {
     "none": "NoL2PF",
@@ -198,6 +306,11 @@ LABELS = {
     "triage_utility": "Triage_Utility",
     "triage_lru": "Triage_LRU",
     "triage_ideal": "Triage_Unbounded",
+    "triangel": "Triangel",
+    "triangel_512kb": "Triangel_512KB",
+    "triangel_dynamic": "Triangel_Dynamic",
+    "triangel_nosample": "Triangel_NoSample",
+    "triangel_nonuniform": "Triangel_NonUniform",
     "bo+triage_dynamic": "BO+Triage-Dyn",
     "bo+triage_1mb": "BO+Triage-Static",
     "bo+sms": "BO+SMS",

@@ -1,0 +1,107 @@
+"""Extension: Triage vs Triangel head-to-head on the irregular suite.
+
+Not a paper figure -- this pits the original Triage configurations
+against their successor (:mod:`repro.prefetchers.triangel`,
+arXiv 2406.10627) on the exact workloads of Figures 5/6: per-benchmark
+speedup over no L2 prefetching, plus coverage and accuracy, for each
+family member.  The interesting columns:
+
+* ``Triangel`` vs ``Triage_1MB``: same 1 MB metadata budget, so any gap
+  is purely the Sample Table's allocation filter, the lookahead walk and
+  reuse-aware metadata replacement.
+* ``Triangel_NoSample`` vs ``Triage_1MB``: the degenerate configuration
+  (sampling off, lookahead 1, Hawkeye replacement) -- the differential
+  tests pin these to *identical* prefetch streams, so their rows here
+  double as an end-to-end checksum of that contract.
+
+KPIs feed ``repro bench ext_triangel`` / ``BENCH_ext_triangel.json``:
+speedup geomeans per config plus Triangel's coverage/accuracy deltas
+over Triage at matched budget.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments import common
+from repro.experiments.fig05_irregular_speedup import benchmarks
+from repro.sim.stats import geomean
+
+#: Matched-budget families side by side, the degenerate config last.
+CONFIGS = [
+    "triage_1mb",
+    "triage_dynamic",
+    "triangel",
+    "triangel_dynamic",
+    "triangel_nosample",
+]
+
+
+def run(quick: bool = False) -> common.ExperimentTable:
+    n = common.N_SINGLE_QUICK if quick else common.N_SINGLE
+    common.warm_grid(benchmarks(quick), ["none"] + CONFIGS, n=n)
+    headers = ["benchmark"]
+    for config in CONFIGS:
+        label = common.label(config)
+        headers += [f"{label} speedup", f"{label} cov", f"{label} acc"]
+    table = common.ExperimentTable(
+        title="Extension: Triage vs Triangel (irregular SPEC)",
+        headers=headers,
+    )
+    speedups = {c: [] for c in CONFIGS}
+    cov_sums = {c: 0.0 for c in CONFIGS}
+    acc_sums = {c: 0.0 for c in CONFIGS}
+    benches = benchmarks(quick)
+    for bench in benches:
+        base = common.run_single(bench, "none", n=n)
+        row: List[object] = [bench]
+        for config in CONFIGS:
+            result = common.run_single(bench, config, n=n)
+            s = result.speedup_over(base)
+            speedups[config].append(s)
+            cov_sums[config] += result.coverage
+            acc_sums[config] += result.accuracy
+            row += [s, result.coverage, result.accuracy]
+        table.add(*row)
+    summary: List[object] = ["geomean/avg"]
+    for config in CONFIGS:
+        summary += [
+            geomean(speedups[config]),
+            cov_sums[config] / len(benches),
+            acc_sums[config] / len(benches),
+        ]
+    table.add(*summary)
+    table.notes.append(
+        "Triangel vs Triage_1MB shares the metadata budget; the gap is "
+        "sampling + lookahead + reuse-aware replacement."
+    )
+    table.notes.append(
+        "Triangel_NoSample is the degenerate config: its speedup column "
+        "must match Triage_1MB (differential-test contract)."
+    )
+    return table
+
+
+def kpis(table: common.ExperimentTable) -> dict:
+    """Headline KPIs: per-config speedup geomeans + Triangel deltas."""
+    summary = table.row("geomean/avg")
+    out = {}
+    for i, config in enumerate(CONFIGS):
+        out[f"speedup_geomean.{config}"] = float(summary[1 + 3 * i])
+        out[f"coverage.{config}"] = float(summary[2 + 3 * i])
+        out[f"accuracy.{config}"] = float(summary[3 + 3 * i])
+    out["coverage_delta.triangel_vs_triage_1mb"] = (
+        out["coverage.triangel"] - out["coverage.triage_1mb"]
+    )
+    out["accuracy_delta.triangel_vs_triage_1mb"] = (
+        out["accuracy.triangel"] - out["accuracy.triage_1mb"]
+    )
+    return out
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

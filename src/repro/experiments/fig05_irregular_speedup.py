@@ -12,7 +12,9 @@ from repro.experiments import common
 from repro.sim.stats import geomean
 from repro.workloads import spec
 
-CONFIGS = ["bo", "sms", "triage_512kb", "triage_1mb", "triage_dynamic"]
+# "triangel" rides along as a post-paper competitor (same 1 MB budget as
+# Triage_1MB); see experiments/ext_triangel_headtohead for the full duel.
+CONFIGS = ["bo", "sms", "triage_512kb", "triage_1mb", "triage_dynamic", "triangel"]
 
 
 def benchmarks(quick: bool) -> List[str]:

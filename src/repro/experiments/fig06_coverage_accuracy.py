@@ -9,7 +9,7 @@ from __future__ import annotations
 from repro.experiments import common
 from repro.experiments.fig05_irregular_speedup import benchmarks
 
-CONFIGS = ["bo", "sms", "triage_512kb", "triage_1mb", "triage_dynamic"]
+CONFIGS = ["bo", "sms", "triage_512kb", "triage_1mb", "triage_dynamic", "triangel"]
 
 
 def run(quick: bool = False) -> common.ExperimentTable:

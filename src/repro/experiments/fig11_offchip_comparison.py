@@ -18,7 +18,9 @@ from repro.experiments import common
 from repro.experiments.fig05_irregular_speedup import benchmarks
 from repro.sim.stats import geomean
 
-CONFIGS = ["stms", "domino", "misb", "triage_dynamic"]
+# "triangel" joins the panel: like Triage it pays for every metadata
+# access on chip, so its traffic column is directly comparable.
+CONFIGS = ["stms", "domino", "misb", "triage_dynamic", "triangel"]
 
 
 def run(quick: bool = False) -> common.ExperimentTable:

@@ -9,7 +9,7 @@ from __future__ import annotations
 from repro.experiments import common
 from repro.sim.stats import geomean
 
-CONFIGS = ["bo", "triage_dynamic", "bo+triage_dynamic"]
+CONFIGS = ["bo", "triage_dynamic", "bo+triage_dynamic", "triangel_dynamic"]
 
 N_MIXES = 6
 N_MIXES_QUICK = 3

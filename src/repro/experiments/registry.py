@@ -8,6 +8,7 @@ from repro.experiments import (
     ablations,
     ext_engine_validation,
     ext_llc_policy,
+    ext_triangel_headtohead,
     ext_utility_partition,
     fig01_reuse,
     fig05_irregular_speedup,
@@ -54,6 +55,10 @@ EXPERIMENTS: Dict[str, object] = {
     "ext-utility": ext_utility_partition,
     "ext-engines": ext_engine_validation,
     "ext-llc-policy": ext_llc_policy,
+    # Underscore (not the ext- hyphen convention): bench trajectories are
+    # named BENCH_<experiment>.json verbatim, and this one ships a seeded
+    # BENCH_ext_triangel.json baseline.
+    "ext_triangel": ext_triangel_headtohead,
 }
 
 

@@ -20,6 +20,22 @@ from repro.prefetchers.ghb_delta import GhbDeltaPrefetcher
 from repro.prefetchers.sandbox import SandboxPrefetcher
 from repro.prefetchers.tcp import TagCorrelatingPrefetcher
 
+#: Triangel builds on :mod:`repro.core.triage`, which itself imports
+#: :mod:`repro.prefetchers.base` -- importing it eagerly here would close
+#: an import cycle through this package's __init__.  PEP 562 lazy
+#: attribute access keeps ``from repro.prefetchers import
+#: TriangelPrefetcher`` working without the cycle.
+_TRIANGEL_EXPORTS = ("SampleTable", "TriangelConfig", "TriangelPrefetcher")
+
+
+def __getattr__(name):
+    if name in _TRIANGEL_EXPORTS:
+        from repro.prefetchers import triangel
+
+        return getattr(triangel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BasePrefetcher",
     "BestOffsetPrefetcher",
@@ -30,9 +46,12 @@ __all__ = [
     "MarkovPrefetcher",
     "MisbPrefetcher",
     "PrefetchCandidate",
+    "SampleTable",
     "SandboxPrefetcher",
     "SmsPrefetcher",
     "StmsPrefetcher",
     "StridePrefetcher",
     "TagCorrelatingPrefetcher",
+    "TriangelConfig",
+    "TriangelPrefetcher",
 ]

@@ -1,4 +1,5 @@
-"""Cache replacement policies: LRU, Random, SRRIP, and Hawkeye/OPTgen."""
+"""Cache replacement policies: LRU, Random, SRRIP, Hawkeye/OPTgen, and
+the Triangel family's metadata-reuse-aware policy."""
 
 from repro.replacement.base import ReplacementPolicy
 from repro.replacement.lru import LruPolicy
@@ -7,6 +8,7 @@ from repro.replacement.srrip import SrripPolicy
 from repro.replacement.drrip import DrripPolicy
 from repro.replacement.optgen import OptGen
 from repro.replacement.hawkeye import HawkeyePolicy, HawkeyePredictor
+from repro.replacement.reuse_aware import ReuseAwarePolicy
 
 POLICIES = {
     "lru": LruPolicy,
@@ -14,6 +16,7 @@ POLICIES = {
     "srrip": SrripPolicy,
     "drrip": DrripPolicy,
     "hawkeye": HawkeyePolicy,
+    "reuse": ReuseAwarePolicy,
 }
 
 
@@ -37,6 +40,7 @@ __all__ = [
     "POLICIES",
     "RandomPolicy",
     "ReplacementPolicy",
+    "ReuseAwarePolicy",
     "SrripPolicy",
     "make_policy",
 ]

@@ -1,0 +1,84 @@
+"""Metadata-reuse-aware replacement (the Triangel family's policy).
+
+Triangel's observation (arXiv 2406.10627) is that on-chip metadata pays
+for itself only when entries are *reused*: a correlation that is looked
+up again produced (or will produce) a prefetch, while an entry that sat
+in the store untouched since its fill only displaced useful state.  The
+policy therefore ranks victims primarily by a small per-entry reuse
+counter (bumped on every hit, saturating) and only breaks ties by
+recency -- so never-reused entries are evicted before any entry that
+has proven itself, regardless of age.
+
+The implementation follows the PR-5 victim contract
+(:class:`repro.replacement.base.ReplacementPolicy`): the owner
+guarantees every way is valid when :meth:`victim` is called, the policy
+answers from its own per-way state with no candidate lists, ties break
+toward the lowest way, and :meth:`resize_ways` truncates per-way state
+on shrink so a later grow re-exposes fresh (not stale) state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.replacement.base import ReplacementPolicy
+
+#: Reuse counters saturate here: past a few reuses an entry has proven
+#: itself, and an unbounded counter would make old hot entries immortal.
+REUSE_CAP = 3
+
+
+class ReuseAwarePolicy(ReplacementPolicy):
+    """Evict the least-reused way; break reuse ties by LRU, then way.
+
+    Victim selection minimizes the tuple ``(reuse, last_touch)`` over the
+    set's ways: a way that was never hit (``reuse == 0``) always loses to
+    one that was, and among equally-reused ways the one touched longest
+    ago goes first.  Both passes are C-level (``min`` + ``list.index``)
+    per the O(1)-per-fill discipline established for the other policies.
+    """
+
+    def __init__(self, num_sets: int, num_ways: int):
+        super().__init__(num_sets, num_ways)
+        self._clock = 0
+        self._reuse = [[0] * num_ways for _ in range(num_sets)]
+        self._last_touch = [[-1] * num_ways for _ in range(num_sets)]
+
+    def on_hit(self, set_idx: int, way: int, pc: Optional[int] = None) -> None:
+        self._clock += 1
+        self._last_touch[set_idx][way] = self._clock
+        reuse = self._reuse[set_idx]
+        if reuse[way] < REUSE_CAP:
+            reuse[way] += 1
+
+    def on_fill(self, set_idx: int, way: int, pc: Optional[int] = None) -> None:
+        self._clock += 1
+        self._last_touch[set_idx][way] = self._clock
+        self._reuse[set_idx][way] = 0
+
+    def on_evict(self, set_idx: int, way: int) -> None:
+        self._last_touch[set_idx][way] = -1
+        self._reuse[set_idx][way] = 0
+
+    def victim(self, set_idx: int, pc: Optional[int] = None) -> int:
+        reuse = self._reuse[set_idx]
+        touches = self._last_touch[set_idx]
+        scores = [(reuse[w], touches[w]) for w in range(self.num_ways)]
+        return scores.index(min(scores))
+
+    def resize_ways(self, num_ways: int) -> None:
+        if num_ways > self.num_ways:
+            grow = num_ways - self.num_ways
+            for row in self._last_touch:
+                row.extend([-1] * grow)
+            for row in self._reuse:
+                row.extend([0] * grow)
+        elif num_ways < self.num_ways:
+            # Truncate (same contract as LruPolicy): a future grow must
+            # re-extend with fresh state, never re-expose stale counters
+            # as fake reuse.
+            for row in self._last_touch:
+                del row[num_ways:]
+            for row in self._reuse:
+                del row[num_ways:]
+        super().resize_ways(num_ways)

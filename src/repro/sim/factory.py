@@ -16,17 +16,30 @@ Names mirror the paper's figures::
     "triage_dynamic"   Triage-Dynamic (0/512 KB/1 MB partitioning)
     "triage_lru"       Triage-Static 1 MB with LRU metadata replacement
     "triage_ideal"     Triage with an unbounded metadata store
+    "triangel"         Triangel, 1 MB store (alias triangel_1mb)
+    "triangel_512kb"   Triangel, 512 KB store
+    "triangel_1mb"     Triangel, 1 MB store
+    "triangel_dynamic" Triangel with Triage's dynamic partitioning
+    "triangel_nosample"  Triangel degenerate config: sampling off,
+                         lookahead 1, Hawkeye replacement -- issues the
+                         same stream as Triage (differential-test anchor)
     "a+b"              hybrid of a and b (e.g. "bo+triage_dynamic")
 
-A :class:`~repro.core.triage.TriageConfig`, an already-built
-:class:`~repro.prefetchers.base.BasePrefetcher`, or a zero-argument
-callable returning one (used by multi-core runs to build a fresh
-instance per core) may be passed instead of a name.
+A :class:`~repro.core.triage.TriageConfig` (including its
+:class:`~repro.prefetchers.triangel.TriangelConfig` subclass), an
+already-built :class:`~repro.prefetchers.base.BasePrefetcher`, or a
+zero-argument callable returning one (used by multi-core runs to build a
+fresh instance per core) may be passed instead of a name.
+
+:func:`is_registered` answers whether a name string is buildable here;
+:mod:`repro.cache.keys` uses it (together with
+``experiments.common.is_registered``) to refuse fingerprinting unknown
+names instead of silently hashing a typo into its own cache key.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 from repro.core.triage import TriageConfig, TriagePrefetcher
 from repro.prefetchers import (
@@ -44,6 +57,7 @@ from repro.prefetchers import (
     StridePrefetcher,
     TagCorrelatingPrefetcher,
 )
+from repro.prefetchers.triangel import TriangelConfig, TriangelPrefetcher
 
 KB = 1024
 MB = 1024 * KB
@@ -51,6 +65,83 @@ MB = 1024 * KB
 PrefetcherSpec = Union[
     None, str, TriageConfig, BasePrefetcher, Callable[[], Optional[BasePrefetcher]]
 ]
+
+#: Simple (non-Triage-family) prefetchers, by name.
+SIMPLE_BUILDERS: Dict[str, Callable[[int], BasePrefetcher]] = {
+    "bo": lambda degree: BestOffsetPrefetcher(degree=degree),
+    "sms": lambda degree: SmsPrefetcher(degree=degree),
+    "stride": lambda degree: StridePrefetcher(degree=degree),
+    "markov": lambda degree: MarkovPrefetcher(degree=degree),
+    "stms": lambda degree: StmsPrefetcher(degree=degree),
+    "domino": lambda degree: DominoPrefetcher(degree=degree),
+    "isb": lambda degree: IsbPrefetcher(degree=degree),
+    "misb": lambda degree: MisbPrefetcher(degree=degree),
+    "ghb_pcdc": lambda degree: GhbDeltaPrefetcher(degree=degree),
+    "tcp": lambda degree: TagCorrelatingPrefetcher(degree=degree),
+    "sandbox": lambda degree: SandboxPrefetcher(degree=max(degree, 4)),
+}
+
+#: The paper's Triage configurations, by name.
+TRIAGE_BUILDERS: Dict[str, Callable[[int], TriageConfig]] = {
+    "triage": lambda degree: TriageConfig(degree=degree, metadata_capacity=1 * MB),
+    "triage_1mb": lambda degree: TriageConfig(
+        degree=degree, metadata_capacity=1 * MB
+    ),
+    "triage_512kb": lambda degree: TriageConfig(
+        degree=degree, metadata_capacity=512 * KB
+    ),
+    "triage_dynamic": lambda degree: TriageConfig(degree=degree, dynamic=True),
+    "triage_lru": lambda degree: TriageConfig(
+        degree=degree, metadata_capacity=1 * MB, replacement="lru"
+    ),
+    "triage_ideal": lambda degree: TriageConfig(
+        degree=degree, metadata_capacity=None
+    ),
+}
+
+#: The Triangel family (arXiv 2406.10627), by name.
+TRIANGEL_BUILDERS: Dict[str, Callable[[int], TriangelConfig]] = {
+    "triangel": lambda degree: TriangelConfig(
+        degree=degree, metadata_capacity=1 * MB
+    ),
+    "triangel_1mb": lambda degree: TriangelConfig(
+        degree=degree, metadata_capacity=1 * MB
+    ),
+    "triangel_512kb": lambda degree: TriangelConfig(
+        degree=degree, metadata_capacity=512 * KB
+    ),
+    "triangel_dynamic": lambda degree: TriangelConfig(
+        degree=degree, dynamic=True
+    ),
+    "triangel_nosample": lambda degree: TriangelConfig(
+        degree=degree,
+        metadata_capacity=1 * MB,
+        sampling=False,
+        lookahead=1,
+        replacement="hawkeye",
+    ),
+}
+
+
+def is_registered(name: str) -> bool:
+    """Whether :func:`make_prefetcher` can build ``name``.
+
+    Accepts the empty/"none" spellings and hybrid ``a+b`` forms (every
+    component must itself be registered).
+    """
+    if not isinstance(name, str):
+        return False
+    name = name.lower().strip()
+    if name in ("", "none"):
+        return True
+    if "+" in name:
+        parts = [p for p in name.split("+") if p]
+        return bool(parts) and all(is_registered(p) for p in parts)
+    return (
+        name in SIMPLE_BUILDERS
+        or name in TRIAGE_BUILDERS
+        or name in TRIANGEL_BUILDERS
+    )
 
 
 def make_prefetcher(
@@ -61,6 +152,10 @@ def make_prefetcher(
         return None
     if isinstance(spec, BasePrefetcher):
         return spec
+    # TriangelConfig subclasses TriageConfig: check the subclass first so
+    # a Triangel spec builds a Triangel, not its parent.
+    if isinstance(spec, TriangelConfig):
+        return TriangelPrefetcher(spec)
     if isinstance(spec, TriageConfig):
         return TriagePrefetcher(spec)
     if callable(spec) and not isinstance(spec, str):
@@ -86,33 +181,11 @@ def make_prefetcher(
         built = [make_prefetcher(p, degree) for p in parts]
         return HybridPrefetcher([b for b in built if b is not None])
 
-    simple = {
-        "bo": lambda: BestOffsetPrefetcher(degree=degree),
-        "sms": lambda: SmsPrefetcher(degree=degree),
-        "stride": lambda: StridePrefetcher(degree=degree),
-        "markov": lambda: MarkovPrefetcher(degree=degree),
-        "stms": lambda: StmsPrefetcher(degree=degree),
-        "domino": lambda: DominoPrefetcher(degree=degree),
-        "isb": lambda: IsbPrefetcher(degree=degree),
-        "misb": lambda: MisbPrefetcher(degree=degree),
-        "ghb_pcdc": lambda: GhbDeltaPrefetcher(degree=degree),
-        "tcp": lambda: TagCorrelatingPrefetcher(degree=degree),
-        "sandbox": lambda: SandboxPrefetcher(degree=max(degree, 4)),
-    }
-    if name in simple:
-        return simple[name]()
-
-    triage_configs = {
-        "triage": TriageConfig(degree=degree, metadata_capacity=1 * MB),
-        "triage_1mb": TriageConfig(degree=degree, metadata_capacity=1 * MB),
-        "triage_512kb": TriageConfig(degree=degree, metadata_capacity=512 * KB),
-        "triage_dynamic": TriageConfig(degree=degree, dynamic=True),
-        "triage_lru": TriageConfig(
-            degree=degree, metadata_capacity=1 * MB, replacement="lru"
-        ),
-        "triage_ideal": TriageConfig(degree=degree, metadata_capacity=None),
-    }
-    if name in triage_configs:
-        return TriagePrefetcher(triage_configs[name])
+    if name in SIMPLE_BUILDERS:
+        return SIMPLE_BUILDERS[name](degree)
+    if name in TRIAGE_BUILDERS:
+        return TriagePrefetcher(TRIAGE_BUILDERS[name](degree))
+    if name in TRIANGEL_BUILDERS:
+        return TriangelPrefetcher(TRIANGEL_BUILDERS[name](degree))
 
     raise ValueError(f"unknown prefetcher {spec!r}")

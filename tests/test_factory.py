@@ -10,7 +10,8 @@ from repro.prefetchers import (
     MisbPrefetcher,
     SmsPrefetcher,
 )
-from repro.sim.factory import make_prefetcher
+from repro.prefetchers.triangel import TriangelConfig, TriangelPrefetcher
+from repro.sim.factory import is_registered, make_prefetcher
 
 
 def test_none_specs():
@@ -40,6 +41,40 @@ def test_triage_variants():
     assert lru.config.replacement == "lru"
     ideal = make_prefetcher("triage_ideal")
     assert ideal.store.unbounded
+
+
+def test_triangel_variants():
+    pf = make_prefetcher("triangel")
+    assert isinstance(pf, TriangelPrefetcher)
+    assert pf.config.replacement == "reuse"
+    assert make_prefetcher("triangel_512kb").metadata_capacity_bytes == 512 * 1024
+    assert make_prefetcher("triangel_dynamic").controller is not None
+    degen = make_prefetcher("triangel_nosample")
+    assert degen.config.sampling is False
+    assert degen.config.lookahead == 1
+    assert degen.config.replacement == "hawkeye"
+
+
+def test_triangel_config_builds_triangel_not_triage():
+    """Subclass dispatch: a TriangelConfig must never silently build the
+    parent TriagePrefetcher (isinstance order in the factory)."""
+    pf = make_prefetcher(TriangelConfig(metadata_capacity=4096))
+    assert type(pf) is TriangelPrefetcher
+    assert type(make_prefetcher(TriageConfig(metadata_capacity=4096))) is (
+        TriagePrefetcher
+    )
+
+
+def test_is_registered():
+    assert is_registered("triangel")
+    assert is_registered("triage_1mb")
+    assert is_registered("bo+triangel_dynamic")
+    assert is_registered("none")
+    assert is_registered("")
+    assert not is_registered("teleporting_prefetcher")
+    assert not is_registered("bo+teleporting_prefetcher")
+    assert not is_registered("+")
+    assert not is_registered(42)
 
 
 def test_hybrid_parsing():

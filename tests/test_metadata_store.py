@@ -127,3 +127,92 @@ def test_record_prefetch_outcome_redundant_ignored():
     store.record_prefetch_outcome(1, pc=5, redundant=False)
     final = sum(s.accesses for s in policy._samplers.values())
     assert final == after + 1
+
+
+# -- policy="reuse" (Triangel family) ----------------------------------------
+
+
+def test_reuse_policy_variant_evicts_never_reused_first():
+    store = MetadataStore(capacity_bytes=4096, policy="reuse")
+    num_sets = store.num_sets
+    # Fill set 0 completely; reuse (look up) every entry except one.
+    triggers = [w * num_sets for w in range(ENTRIES_PER_LINE)]
+    for t in triggers:
+        store.update(t, t + 1)
+    cold = triggers[5]
+    for t in triggers:
+        if t != cold:
+            store.lookup(t)
+    # The next insert into set 0 must displace the never-reused entry.
+    newcomer = ENTRIES_PER_LINE * num_sets
+    store.update(newcomer, newcomer + 1)
+    assert not store.contains(cold)
+    assert store.contains(newcomer)
+    for t in triggers:
+        if t != cold:
+            assert store.contains(t)
+
+
+# -- index_mode="nonuniform" (Trimma-style near/far) -------------------------
+
+
+def test_nonuniform_near_hits_skip_the_llc():
+    store = MetadataStore(capacity_bytes=4096, index_mode="nonuniform")
+    store.update(1, 2)
+    assert store.lookup(1) == 2  # far hit: charged, promotes to near
+    charged = store.llc_accesses
+    assert store.lookup(1) == 2  # near hit: free
+    assert store.llc_accesses == charged
+    assert store.near_hits == 1
+    assert store.lookup_hits == 2
+
+
+def test_nonuniform_near_is_lru_bounded():
+    store = MetadataStore(
+        capacity_bytes=64 * 1024, index_mode="nonuniform", near_entries=2
+    )
+    for t in (1, 2, 3):
+        store.update(t, t + 10)
+        store.lookup(t)  # promote each into the near level
+    assert len(store._near) == 2
+    charged = store.llc_accesses
+    store.lookup(1)  # evicted from near (LRU): must fall through to far
+    assert store.llc_accesses == charged + 1
+
+
+def test_nonuniform_eviction_invalidates_near_copy():
+    store = MetadataStore(capacity_bytes=4096, index_mode="nonuniform")
+    num_sets = store.num_sets
+    triggers = [w * num_sets for w in range(ENTRIES_PER_LINE)]
+    for t in triggers:
+        store.update(t, t + 1)
+    store.lookup(triggers[0])  # near-resident
+    # Overflow set 0: some resident entry is evicted; if it was the
+    # near-resident one its near copy must go too.
+    newcomer = ENTRIES_PER_LINE * num_sets
+    store.update(newcomer, newcomer + 1)
+    for trigger in store._near:
+        assert store.contains(trigger)
+
+
+def test_nonuniform_resize_clears_near_level():
+    store = MetadataStore(capacity_bytes=4096, index_mode="nonuniform")
+    store.update(1, 2)
+    store.lookup(1)
+    assert store._near
+    store.resize(8192)
+    assert not store._near
+
+
+def test_uniform_mode_never_touches_near_level():
+    store = MetadataStore(capacity_bytes=4096, index_mode="uniform")
+    store.update(1, 2)
+    store.lookup(1)
+    store.lookup(1)
+    assert store.near_hits == 0
+    assert not store._near
+
+
+def test_unknown_index_mode_rejected():
+    with pytest.raises(ValueError):
+        MetadataStore(capacity_bytes=4096, index_mode="diagonal")

@@ -23,6 +23,7 @@ import pytest
 from repro import cache, obs
 from repro.core.triage import TriageConfig
 from repro.experiments import common
+from repro.prefetchers.triangel import TriangelConfig
 from repro.sim import parallel
 from repro.sim.sweep import sweep
 
@@ -32,13 +33,17 @@ KB = 1024
 N_ACCESSES = 3_000
 
 #: A scale-4 Triage (the factory's full-size configs don't fit the
-#: scaled machine) plus two on-chip prefetchers -- three prefetcher
-#: *types* through the parallel path.
+#: scaled machine) plus its Triangel successor and two on-chip
+#: prefetchers -- four prefetcher *types* through the parallel path.
 TRIAGE = TriageConfig(
     metadata_capacity=(1024 * KB) // 4,
     capacities=(0, (512 * KB) // 4, (1024 * KB) // 4),
 )
-GRID = {"bo": "bo", "triage": TRIAGE, "sms": "sms"}
+TRIANGEL = TriangelConfig(
+    metadata_capacity=(1024 * KB) // 4,
+    capacities=(0, (512 * KB) // 4, (1024 * KB) // 4),
+)
+GRID = {"bo": "bo", "triage": TRIAGE, "sms": "sms", "triangel": TRIANGEL}
 BENCHES = ["mcf", "omnetpp"]
 
 

@@ -132,6 +132,59 @@ class TestKeys:
         with pytest.raises(cache.UncacheableSpec):
             cache.spec_fingerprint(lambda: None)
 
+    def test_unknown_prefetcher_name_fails_loudly(self):
+        """A typo'd name must raise, not silently hash into its own
+        never-hitting cache namespace."""
+        for bogus in ("traige_1mb", "triangle", "bo+nope", "bo "):
+            if bogus == "bo ":
+                # Whitespace normalizes to a registered name: allowed.
+                assert cache.spec_fingerprint(bogus)["name"] == "bo"
+                continue
+            with pytest.raises(cache.UncacheableSpec):
+                cache.spec_fingerprint(bogus)
+
+    def test_registered_names_from_both_registries_fingerprint(self):
+        # Factory-only ("stride"), experiments-only ("triage_noconf" and
+        # the sweep pattern), and both ("triangel", hybrids).
+        for name in (
+            "stride",
+            "triage_noconf",
+            "triage@65536:lru:10",
+            "triangel",
+            "triangel_nosample",
+            "bo+triangel_dynamic",
+        ):
+            assert cache.spec_fingerprint(name) == {
+                "kind": "name",
+                "name": name,
+            }
+
+    def test_triangel_config_fingerprint_distinct_from_triage(self):
+        """Same field values, different class: canonicalize folds the
+        dataclass name in, so the keys can never collide."""
+        from repro.prefetchers.triangel import TriangelConfig
+
+        triage = TriageConfig(metadata_capacity=256 * KB)
+        triangel = TriangelConfig(
+            metadata_capacity=256 * KB,
+            sampling=False,
+            lookahead=1,
+            replacement="hawkeye",
+        )
+        a = cache.spec_fingerprint(triage)
+        b = cache.spec_fingerprint(triangel)
+        assert a != b
+        assert a["config"]["__dataclass__"] == "TriageConfig"
+        assert b["config"]["__dataclass__"] == "TriangelConfig"
+        assert cache.spec_fingerprint(triangel) == cache.spec_fingerprint(
+            TriangelConfig(
+                metadata_capacity=256 * KB,
+                sampling=False,
+                lookahead=1,
+                replacement="hawkeye",
+            )
+        )
+
     def test_trace_key_stability(self):
         same = cache.trace_key("spec", "mcf", 4000, 1, 4)
         assert same == cache.trace_key("spec", "mcf", 4000, 1, 4)
