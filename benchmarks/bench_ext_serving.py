@@ -1,0 +1,29 @@
+"""Regenerate the multi-tenant serving loadtest table."""
+
+from conftest import run_experiment
+from repro.experiments import ext_serving
+
+
+def test_ext_serving(benchmark):
+    table = run_experiment(benchmark, ext_serving, "ext_serving")
+    cols = {name: i for i, name in enumerate(table.headers)}
+    by_scenario = {row[0]: row for row in table.rows}
+
+    # The acceptance bar: no request ever dies with an unhandled error,
+    # under clean load *and* under injected crashes/slow replies.
+    for row in table.rows:
+        assert row[cols["unhandled errors"]] == 0
+
+    # A gentle ramp at the provisioned rate serves everything.
+    ramp = by_scenario["ramp"]
+    assert ramp[cols["served_pct"]] >= 99.0
+
+    # The 6x spike must shed explicitly and degrade rather than error.
+    spike = by_scenario["spike"]
+    assert spike[cols["shed_rate_pct"]] > 0
+    assert spike[cols["degrade_transitions"]] > 0
+
+    # Chaos trips breakers; every rejection is an explicit shed.
+    chaos = by_scenario["chaos"]
+    assert chaos[cols["breaker_trips"]] > 0
+    assert chaos[cols["served_pct"]] + chaos[cols["shed_rate_pct"]] >= 99.9

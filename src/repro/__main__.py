@@ -31,6 +31,16 @@ Subcommands:
 * ``python -m repro profile fig05``        -- run with wall-time attribution
 * ``python -m repro cache stats|clear``    -- inspect / empty the on-disk
                                               result cache
+* ``python -m repro serve``                -- start the in-process prefetch
+                                              service, run a self-check
+                                              stream through it and print
+                                              the health/readiness surfaces
+* ``python -m repro loadtest --shape spike``
+                                           -- drive the service with a
+                                              deterministic shaped load on
+                                              the virtual-time loop; prints
+                                              p50/p95/throughput/shed KPIs
+                                              and stamps a run manifest
 * ``python -m repro bench fig05 --quick --repeats 2``
                                            -- timed run: KPIs + wall time +
                                               throughput + fingerprint,
@@ -176,6 +186,74 @@ def main(argv=None) -> int:
     report_parser.add_argument(
         "--json", action="store_true",
         help="dump the loaded run directory as JSON instead of tables",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="start the prefetch service, self-check it and print the "
+        "health/readiness surfaces",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, metavar="N", default=4,
+        help="backend workers / circuit breakers (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--watermark", type=int, metavar="N", default=64,
+        help="request-queue admission watermark (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, metavar="N", default=64,
+        help="self-check requests to stream through (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--json", action="store_true",
+        help="print the surfaces as JSON only",
+    )
+
+    loadtest_parser = sub.add_parser(
+        "loadtest",
+        help="deterministic shaped loadtest of the prefetch service "
+        "(virtual time); prints serving KPIs and stamps a run manifest",
+    )
+    loadtest_parser.add_argument(
+        "--shape", default="ramp", metavar="NAME",
+        help="load shape: ramp, spike or diurnal (default: ramp)",
+    )
+    loadtest_parser.add_argument(
+        "--duration", type=float, metavar="S", default=60.0,
+        help="virtual seconds of load (default: 60)",
+    )
+    loadtest_parser.add_argument(
+        "--rps", type=float, metavar="N", default=150.0,
+        help="aggregate arrival rate at shape multiplier 1.0 (default: 150)",
+    )
+    loadtest_parser.add_argument(
+        "--tenants", type=int, metavar="N", default=16,
+        help="concurrent tenant streams (default: 16)",
+    )
+    loadtest_parser.add_argument(
+        "--deadline", type=float, metavar="S", default=0.5,
+        help="per-request deadline in virtual seconds (default: 0.5)",
+    )
+    loadtest_parser.add_argument(
+        "--seed", type=int, default=1234,
+        help="scenario seed: traces + tenant assignment (default: 1234)",
+    )
+    loadtest_parser.add_argument(
+        "--workers", type=int, metavar="N", default=4,
+        help="backend workers / circuit breakers (default: 4)",
+    )
+    loadtest_parser.add_argument(
+        "--watermark", type=int, metavar="N", default=32,
+        help="request-queue admission watermark (default: 32)",
+    )
+    loadtest_parser.add_argument(
+        "--quick", action="store_true",
+        help="short scenario: 20 virtual seconds, 8 tenants, short traces",
+    )
+    loadtest_parser.add_argument(
+        "--json", action="store_true",
+        help="print the full report as JSON instead of a summary",
     )
 
     bench_parser = sub.add_parser(
@@ -324,6 +402,12 @@ def main(argv=None) -> int:
     if args.command == "dashboard":
         return _dashboard_command(args)
 
+    if args.command == "serve":
+        return _serve_command(args)
+
+    if args.command == "loadtest":
+        return _loadtest_command(args)
+
     if args.command == "bench":
         return _bench_command(args)
 
@@ -458,6 +542,154 @@ def _dashboard_command(args) -> int:
         print(f"{entry['experiment']:<14} {entry['records']:>3} record(s)  {status}")
     print(f"dashboard: {data['html']}")
     return 0 if data["ok"] else 1
+
+
+def _serve_command(args) -> int:
+    """``python -m repro serve``: self-check + health/readiness surfaces."""
+    import json
+
+    from repro.serve import PrefetchService, ServiceConfig, run_virtual
+    from repro.workloads import irregular
+
+    config = ServiceConfig(
+        n_workers=max(1, args.workers),
+        queue_watermark=max(1, args.watermark),
+    )
+    trace = irregular.chain_trace(
+        "serve-check", max(1, args.requests) * 8, seed=1,
+        hot_lines=2_000, cold_lines=8_000, hot_chains=4, cold_chains=8,
+        pcs=4,
+    )
+    stream = [(pc, addr >> 6) for pc, addr, _ in trace]
+
+    async def check():
+        service = PrefetchService(config=config)
+        ready_before = service.ready()
+        await service.start()
+        served = 0
+        for i in range(max(1, args.requests)):
+            batch = stream[i * 8:(i + 1) * 8]
+            response = await service.submit(f"check-{i % 4}", batch)
+            served += len(response.prefetch_lines)
+        surfaces = {
+            "ready_before_start": ready_before,
+            "ready": service.ready(),
+            "health": service.health(),
+            "self_check": {
+                "requests": max(1, args.requests),
+                "prefetch_lines": served,
+            },
+        }
+        await service.stop()
+        surfaces["ready_after_stop"] = service.ready()
+        return surfaces
+
+    surfaces = run_virtual(check())
+    if args.json:
+        print(json.dumps(surfaces, indent=1, sort_keys=True, default=str))
+        return 0
+    health = surfaces["health"]
+    print("== repro serve: self-check ==")
+    print(
+        f"status {health['status']}  tier {health['tier']}  "
+        f"queue {health['queue_depth']}/{health['queue_watermark']}  "
+        f"p95 {health['p95_s'] * 1e3:.2f}ms"
+    )
+    print(
+        f"ready: {surfaces['ready']['ready']}  "
+        f"(before start: {surfaces['ready_before_start']['ready']}, "
+        f"after stop: {surfaces['ready_after_stop']['ready']})"
+    )
+    print(
+        f"self-check: {surfaces['self_check']['requests']} requests, "
+        f"{surfaces['self_check']['prefetch_lines']} prefetch lines, "
+        f"{health['counters']['served']} served / "
+        f"{health['counters']['submitted']} submitted"
+    )
+    for breaker in health["breakers"]:
+        print(
+            f"  {breaker['worker']:<10} {breaker['state']:<9} "
+            f"trips {breaker['trips']}"
+        )
+    return 0 if health["counters"]["served"] else 1
+
+
+def _loadtest_command(args) -> int:
+    """``python -m repro loadtest``: shaped scenario -> KPIs + manifest."""
+    import json
+
+    from repro.obs.manifest import build_manifest
+    from repro.serve import LoadgenConfig, ServiceConfig, run_loadtest
+
+    try:
+        loadgen = LoadgenConfig(
+            shape=args.shape,
+            duration_s=20.0 if args.quick else args.duration,
+            base_rps=args.rps,
+            n_tenants=8 if args.quick else args.tenants,
+            deadline_s=args.deadline,
+            seed=args.seed,
+            trace_accesses=1024 if args.quick else 4096,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service_config = ServiceConfig(
+        n_workers=max(1, args.workers),
+        queue_watermark=max(1, args.watermark),
+    )
+    start = time.time()
+    report = run_loadtest(loadgen, service_config)
+    wall = time.time() - start
+    kpis = report.kpis()
+    build_manifest(
+        kind="serve",
+        workloads=[f"loadgen:{loadgen.shape}"],
+        prefetcher="serve-ladder",
+        config={
+            "shape": loadgen.shape,
+            "duration_s": loadgen.duration_s,
+            "base_rps": loadgen.base_rps,
+            "n_tenants": loadgen.n_tenants,
+            "deadline_s": loadgen.deadline_s,
+            "seed": loadgen.seed,
+            "n_workers": service_config.n_workers,
+            "queue_watermark": service_config.queue_watermark,
+        },
+        seeds=[loadgen.seed],
+        trace_length=report.requests * loadgen.batch_size,
+        warmup=0,
+        instructions=0.0,
+        cycles=0.0,
+        wall_time_s=wall,
+        extra={"kpis": kpis, "serving": report.summary()},
+    )
+    if args.json:
+        print(json.dumps(report.summary(), indent=1, sort_keys=True, default=str))
+    else:
+        print(f"== repro loadtest: {loadgen.shape} ==")
+        print(
+            f"{report.requests} requests over {report.duration_s:.1f} virtual "
+            f"seconds ({wall:.1f}s wall): {report.served} served, "
+            f"{report.shed_overload} shed (overload), "
+            f"{report.shed_deadline} shed (deadline), "
+            f"{report.errors_unhandled} unhandled"
+        )
+        for name, value in sorted(kpis.items()):
+            print(f"  {name:<22} {value:.6g}")
+        tiers = ", ".join(
+            f"{tier}:{count}"
+            for tier, count in sorted(report.served_by_tier.items())
+        )
+        print(f"  served_by_tier         {tiers or '-'}")
+    if report.errors_unhandled:
+        print(
+            f"error: {report.errors_unhandled} request(s) died with "
+            "unhandled exceptions",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _bench_command(args) -> int:

@@ -1,0 +1,133 @@
+"""Extension: serving-layer robustness under shaped load and faults.
+
+Runs the :mod:`repro.serve` stack -- admission control, deadlines,
+circuit breakers, the degradation ladder -- through four deterministic
+load scenarios and reports the serving SLO KPIs per scenario:
+
+``ramp``
+    Arrival rate climbs through the service's capacity: the healthy
+    baseline (should serve ~everything at the full tier).
+``spike``
+    A 6x burst the service cannot absorb: admission control must shed
+    and the ladder must degrade *and recover*.
+``diurnal``
+    A compressed day of sinusoidal load: the soak shape.
+``chaos``
+    The ramp again with ``serve_worker_crash`` + ``serve_slow_reply``
+    faults armed: breakers trip, retries converge, and the robustness
+    acceptance bar applies -- zero unhandled errors, every request
+    answered or explicitly rejected.
+
+Everything runs on the virtual-time loop (:mod:`repro.serve.vtime`), so
+the table -- latencies included -- is bit-deterministic and its KPIs are
+gated in CI via ``BENCH_ext_serving.json`` like any figure trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro import faults
+from repro.experiments import common
+from repro.serve import LoadgenConfig, LoadtestReport, ServiceConfig, run_loadtest
+
+#: scenario -> (shape, base_rps multiplier, fault spec or None)
+SCENARIOS = [
+    ("ramp", "ramp", 1.0, None),
+    ("spike", "spike", 2.0, None),
+    ("diurnal", "diurnal", 1.0, None),
+    ("chaos", "ramp", 1.0, "serve_worker_crash:0.2,serve_slow_reply:0.1"),
+]
+
+#: KPI columns, in table order after the scenario name.
+KPI_COLUMNS = [
+    "p50_latency_ms",
+    "p95_latency_ms",
+    "throughput_rps",
+    "shed_rate_pct",
+    "served_pct",
+    "degrade_transitions",
+    "breaker_trips",
+]
+
+
+def _loadgen_config(shape: str, rps_scale: float, quick: bool) -> LoadgenConfig:
+    return LoadgenConfig(
+        shape=shape,
+        duration_s=20.0 if quick else 60.0,
+        base_rps=150.0 * rps_scale,
+        n_tenants=8 if quick else 16,
+        batch_size=32,
+        deadline_s=0.5,
+        seed=1234,
+        trace_accesses=1024 if quick else 4096,
+    )
+
+
+def _service_config() -> ServiceConfig:
+    return ServiceConfig(n_workers=4, queue_watermark=32)
+
+
+def run_scenario(
+    name: str, shape: str, rps_scale: float,
+    fault_spec: Optional[str], quick: bool,
+) -> LoadtestReport:
+    """One scenario on a fresh service; fault plan scoped to the run."""
+    saved_plan = faults._PLAN
+    try:
+        if fault_spec is not None:
+            faults.configure(fault_spec, seed=42)
+        return run_loadtest(
+            _loadgen_config(shape, rps_scale, quick), _service_config()
+        )
+    finally:
+        faults._PLAN = saved_plan
+
+
+def run(quick: bool = False) -> common.ExperimentTable:
+    table = common.ExperimentTable(
+        title="Extension: serving robustness under shaped load "
+        "(virtual-time loadtests)",
+        headers=["scenario"] + KPI_COLUMNS + ["unhandled errors"],
+    )
+    for name, shape, rps_scale, fault_spec in SCENARIOS:
+        report = run_scenario(name, shape, rps_scale, fault_spec, quick)
+        kpis = report.kpis()
+        if report.served + report.shed != report.requests:
+            raise AssertionError(
+                f"{name}: {report.requests} requests but "
+                f"{report.served} served + {report.shed} shed -- a request "
+                "was neither answered nor explicitly rejected"
+            )
+        table.add(
+            name,
+            *[kpis[col] for col in KPI_COLUMNS],
+            report.errors_unhandled,
+        )
+    table.notes.append(
+        "acceptance: 'unhandled errors' is 0 on every row -- under faults "
+        "the service sheds load explicitly, never silently fails"
+    )
+    table.notes.append(
+        "chaos = ramp shape + serve_worker_crash:0.2 + serve_slow_reply:0.1"
+    )
+    return table
+
+
+def kpis(table: common.ExperimentTable) -> Dict[str, float]:
+    """Per-scenario serving KPIs, flattened for the bench trajectory."""
+    out: Dict[str, float] = {}
+    for name, _, _, _ in SCENARIOS:
+        row = table.row(name)
+        for i, col in enumerate(KPI_COLUMNS):
+            out[f"{col}.{name}"] = float(row[1 + i])
+        out[f"unhandled_errors.{name}"] = float(row[1 + len(KPI_COLUMNS)])
+    return out
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ from repro.experiments import (
     ablations,
     ext_engine_validation,
     ext_llc_policy,
+    ext_serving,
     ext_triangel_headtohead,
     ext_utility_partition,
     fig01_reuse,
@@ -59,6 +60,7 @@ EXPERIMENTS: Dict[str, object] = {
     # named BENCH_<experiment>.json verbatim, and this one ships a seeded
     # BENCH_ext_triangel.json baseline.
     "ext_triangel": ext_triangel_headtohead,
+    "ext_serving": ext_serving,
 }
 
 

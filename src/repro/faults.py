@@ -8,24 +8,9 @@ randomness across runs**: every fire/no-fire decision is a pure function
 of ``(seed, site, token, attempt)``, so a chaos run is as reproducible
 as a clean one.
 
-Sites (where the harness consults the plan):
-
-``worker_crash``
-    The worker process hard-exits (``os._exit``) before returning its
-    result, producing a ``BrokenProcessPool`` in the parent.  In serial
-    (in-process) execution the same site raises :class:`InjectedFault`
-    instead -- killing the caller's process would not be a test.
-``cell_timeout``
-    The worker sleeps ``REPRO_FAULT_SLEEP`` seconds (default 0.5) before
-    running its cell, so a parent-enforced per-cell timeout trips.
-``cache_corrupt``
-    A just-written cache entry is truncated to garbage, exercising the
-    corruption-as-miss read path.
-``trace_io``
-    A cache trace read raises ``OSError`` mid-lookup.
-``pickle``
-    Payload submission raises :class:`InjectedFault` in the *parent*,
-    standing in for an unpicklable payload.
+Sites (where the harness consults the plan) are declared -- and
+documented -- in exactly one place, :data:`SITE_REGISTRY`; a new
+fault-consulting subsystem adds its sites there and nowhere else.
 
 Configuration -- API or environment::
 
@@ -38,6 +23,14 @@ probability per decision; ``max_attempt`` (default
 once its attempt counter reaches that value, so any harness retrying at
 least that many times is *guaranteed* to converge.  Injection is wholly
 inert unless configured -- every hook is one ``_PLAN is None`` check.
+
+A typo'd site name in :func:`configure` raises immediately.  The same
+typo in ``REPRO_FAULTS`` used to surface only as a ``ValueError`` raised
+from deep inside the first simulation that consulted the plan; now the
+unknown clause is dropped with a once-per-site stderr warning (and a
+``faults.unknown_site`` obs event when a session is active), so a chaos
+run with a misspelled site runs clean instead of crashing mid-sweep --
+and tells you which clause it ignored.
 """
 
 from __future__ import annotations
@@ -49,6 +42,8 @@ from typing import Dict, Optional, Tuple
 
 __all__ = [
     "DEFAULT_MAX_ATTEMPT",
+    "SITE_REGISTRY",
+    "SITES",
     "FaultPlan",
     "InjectedFault",
     "active",
@@ -65,8 +60,47 @@ __all__ = [
 #: retrying harness always converges).  Override per site in the spec.
 DEFAULT_MAX_ATTEMPT = 2
 
-#: Sites the parser accepts; a typo'd site name should fail loudly.
-SITES = ("worker_crash", "cell_timeout", "cache_corrupt", "trace_io", "pickle")
+#: The single authoritative registry of fault sites: name -> what firing
+#: it does.  The parser accepts exactly these names; docs/resilience.md
+#: and docs/serving.md point here rather than keeping their own lists.
+SITE_REGISTRY: Dict[str, str] = {
+    "worker_crash": (
+        "sweep worker hard-exits (os._exit) before returning its result, "
+        "producing BrokenProcessPool in the parent; raises InjectedFault "
+        "in serial (in-process) execution"
+    ),
+    "cell_timeout": (
+        "worker sleeps REPRO_FAULT_SLEEP seconds (default 0.5) before "
+        "running its cell, so a parent-enforced per-cell timeout trips"
+    ),
+    "cache_corrupt": (
+        "a just-written cache entry is truncated to garbage, exercising "
+        "the corruption-as-miss read path"
+    ),
+    "trace_io": "a cache trace read raises OSError mid-lookup",
+    "pickle": (
+        "payload submission raises InjectedFault in the parent, standing "
+        "in for an unpicklable payload"
+    ),
+    "serve_worker_crash": (
+        "a serve backend worker dies mid-request (raises InjectedFault); "
+        "the circuit breaker records the failure and the request is "
+        "retried on a later attempt"
+    ),
+    "serve_slow_reply": (
+        "a serve backend worker stalls for the service's slow_reply_s "
+        "before executing, so per-request deadlines and the degradation "
+        "ladder's p95 signal both trip"
+    ),
+    "serve_deadline": (
+        "a serve request's deadline is treated as already expired at "
+        "execution time: an explicit DeadlineExceeded rejection with no "
+        "session-state mutation"
+    ),
+}
+
+#: Site names the parser accepts (kept as a tuple for existing callers).
+SITES = tuple(SITE_REGISTRY)
 
 
 class InjectedFault(RuntimeError):
@@ -92,8 +126,19 @@ class FaultPlan:
         self.seed = int(seed)
 
     @classmethod
-    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
-        """Parse ``"site:rate[:max_attempt],..."`` into a plan."""
+    def parse(
+        cls, spec: str, seed: int = 0, on_unknown: str = "raise"
+    ) -> "FaultPlan":
+        """Parse ``"site:rate[:max_attempt],..."`` into a plan.
+
+        ``on_unknown`` controls what a clause naming an unregistered site
+        does: ``"raise"`` (the default, used by :func:`configure`) raises
+        ``ValueError``; ``"warn"`` (used for ``REPRO_FAULTS``) drops the
+        clause with a once-per-site warning, so an environment typo
+        cannot crash a run from deep inside the first fault hook.
+        """
+        if on_unknown not in ("raise", "warn"):
+            raise ValueError(f"on_unknown must be 'raise' or 'warn', not {on_unknown!r}")
         sites: Dict[str, SiteSpec] = {}
         for clause in spec.split(","):
             clause = clause.strip()
@@ -105,7 +150,10 @@ class FaultPlan:
                     f"bad fault clause {clause!r}; want site:rate[:max_attempt]"
                 )
             site = parts[0].strip()
-            if site not in SITES:
+            if site not in SITE_REGISTRY:
+                if on_unknown == "warn":
+                    _warn_unknown_site(site)
+                    continue
                 raise ValueError(
                     f"unknown fault site {site!r}; want one of {SITES}"
                 )
@@ -142,6 +190,34 @@ class FaultPlan:
         return draw < spec.rate
 
 
+#: Sites already warned about via the ``on_unknown="warn"`` path, so a
+#: typo'd ``REPRO_FAULTS`` clause warns once, not once per fault hook.
+_WARNED_SITES: set = set()
+
+
+def _warn_unknown_site(site: str) -> None:
+    if site in _WARNED_SITES:
+        return
+    _WARNED_SITES.add(site)
+    import sys
+
+    print(
+        f"warning: REPRO_FAULTS names unknown fault site {site!r} "
+        f"(ignored); registered sites: {', '.join(SITES)}",
+        file=sys.stderr,
+    )
+    try:  # best effort: obs may not be importable this early
+        from repro.obs import get_session
+
+        session = get_session()
+        if session is not None:
+            session.events.emit(
+                "faults.unknown_site", "warn", site=site, known=list(SITES)
+            )
+    except Exception:
+        pass
+
+
 #: The process-wide plan; ``None`` (the default) disarms every hook.
 _PLAN: Optional[FaultPlan] = None
 #: Set by worker entry points so process-killing sites know it is safe.
@@ -162,15 +238,21 @@ def reset() -> None:
     global _PLAN
     _PLAN = None
     FIRED.clear()
+    _WARNED_SITES.clear()
 
 
 def plan_from_env() -> Optional[FaultPlan]:
-    """A plan from ``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED``, or ``None``."""
+    """A plan from ``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED``, or ``None``.
+
+    Unknown site names are dropped with a once-per-site warning (see
+    :meth:`FaultPlan.parse`); a plan whose every clause was dropped is
+    still returned (empty), which is inert.
+    """
     spec = os.environ.get("REPRO_FAULTS", "")
     if not spec:
         return None
     seed = int(os.environ.get("REPRO_FAULTS_SEED", "0") or 0)
-    return FaultPlan.parse(spec, seed=seed)
+    return FaultPlan.parse(spec, seed=seed, on_unknown="warn")
 
 
 def get_plan() -> Optional[FaultPlan]:

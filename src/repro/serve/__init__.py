@@ -1,0 +1,62 @@
+"""The in-process prefetch serving layer (``repro.serve``).
+
+An asyncio service that accepts sessionized access streams from many
+concurrent tenants, batches them through the existing prefetch engines,
+and returns prefetch decisions -- staying *robust* under overload via
+admission control, deadlines, per-worker circuit breakers and a graceful
+degradation ladder.  See ``docs/serving.md`` for the architecture tour
+and ``repro loadtest --help`` for driving it from the CLI.
+"""
+
+from repro.serve.degrade import (
+    DegradeController,
+    LadderConfig,
+    Tier,
+    default_ladder,
+    passthrough_tier,
+)
+from repro.serve.loadgen import (
+    SHAPES,
+    LoadgenConfig,
+    LoadtestReport,
+    run_loadtest,
+)
+from repro.serve.service import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    PrefetchService,
+    Request,
+    Response,
+    ServeError,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceOverloaded,
+)
+from repro.serve.session import SessionTable, TenantBudget, TenantSession
+from repro.serve.vtime import VirtualTimeLoop, run_virtual
+
+__all__ = [
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "DegradeController",
+    "LadderConfig",
+    "LoadgenConfig",
+    "LoadtestReport",
+    "PrefetchService",
+    "Request",
+    "Response",
+    "SHAPES",
+    "ServeError",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceOverloaded",
+    "SessionTable",
+    "TenantBudget",
+    "TenantSession",
+    "Tier",
+    "VirtualTimeLoop",
+    "default_ladder",
+    "passthrough_tier",
+    "run_loadtest",
+    "run_virtual",
+]

@@ -1,0 +1,232 @@
+"""Graceful-degradation ladder for the prefetch service.
+
+When the serving layer is overloaded, the right failure mode is not
+timeouts for everyone -- it is cheaper answers for everyone.  The paper
+makes temporal prefetching affordable by keeping metadata on chip; this
+module makes it *survivable* by trading answer quality for service time
+under pressure, one rung at a time:
+
+====================  ================================================
+tier                  what a request costs / returns
+====================  ================================================
+``triangel``          the full Triangel family: sampling-gated
+                      allocation, lookahead-2 runahead walks (the most
+                      accurate and the most expensive tier)
+``triage_degree1``    degree-1 Triage on half the metadata budget --
+                      the paper's own baseline configuration
+``stride``            a PC-stride table: no temporal metadata at all,
+                      but still catches regular streams
+``passthrough``       no prefetcher; the request is acknowledged with
+                      zero candidates (pure load shedding of *work*,
+                      not of *requests*)
+====================  ================================================
+
+:class:`DegradeController` walks this ladder from queue depth and a
+rolling p95 of request latency: one rung down the moment either signal
+breaches, one rung back up only after ``recover_intervals`` consecutive
+healthy decision intervals (hysteresis, so the ladder does not flap).
+Every transition is emitted as a ``serve.degrade`` trace event.
+
+Sessions cache one built engine per tier (see
+:class:`repro.serve.session.TenantSession`), so flapping between tiers
+does not rebuild prefetchers -- a tenant's Triangel metadata survives a
+dip to ``stride`` and is warm again after recovery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+from repro.core.triage import TriageConfig
+from repro.prefetchers.base import BasePrefetcher
+from repro.prefetchers.triangel import TriangelConfig
+from repro.serve.session import TenantBudget
+from repro.sim.factory import make_prefetcher
+
+KB = 1024
+
+__all__ = [
+    "Tier",
+    "LadderConfig",
+    "DegradeController",
+    "default_ladder",
+    "passthrough_tier",
+]
+
+
+@dataclass(frozen=True)
+class Tier:
+    """One rung of the ladder: a named engine recipe plus its cost.
+
+    ``cost`` scales the service's modeled per-request execution time
+    (1.0 = the full tier), so degraded tiers genuinely drain the queue
+    faster.  ``build`` constructs a fresh engine for one tenant under
+    its budget; ``None`` means pass-through (no candidates).
+    """
+
+    name: str
+    cost: float
+    build: Callable[[TenantBudget], Optional[BasePrefetcher]]
+    description: str = ""
+
+
+def _build_triangel(budget: TenantBudget) -> Optional[BasePrefetcher]:
+    return make_prefetcher(
+        TriangelConfig(
+            degree=2,
+            metadata_capacity=budget.metadata_bytes,
+            epoch_accesses=budget.epoch_accesses,
+        )
+    )
+
+
+def _build_triage_degree1(budget: TenantBudget) -> Optional[BasePrefetcher]:
+    # Half the tenant's metadata budget: the degraded tier is cheaper in
+    # state as well as in time.
+    return make_prefetcher(
+        TriageConfig(
+            degree=1,
+            metadata_capacity=max(budget.metadata_bytes // 2, 4 * KB),
+            epoch_accesses=budget.epoch_accesses,
+        )
+    )
+
+
+def _build_stride(budget: TenantBudget) -> Optional[BasePrefetcher]:
+    return make_prefetcher("stride", degree=1)
+
+
+def _build_passthrough(budget: TenantBudget) -> Optional[BasePrefetcher]:
+    return None
+
+
+def default_ladder() -> List[Tier]:
+    """The full ladder, most capable first (index = degradation level)."""
+    return [
+        Tier(
+            "triangel", 1.0, _build_triangel,
+            "full Triangel: sampling, lookahead-2 runahead, reuse-aware "
+            "replacement",
+        ),
+        Tier(
+            "triage_degree1", 0.6, _build_triage_degree1,
+            "degree-1 Triage on half the metadata budget",
+        ),
+        Tier(
+            "stride", 0.25, _build_stride,
+            "PC-stride only: no temporal metadata",
+        ),
+        passthrough_tier(),
+    ]
+
+
+def passthrough_tier() -> Tier:
+    return Tier(
+        "passthrough", 0.05, _build_passthrough,
+        "acknowledge with zero candidates",
+    )
+
+
+@dataclass
+class LadderConfig:
+    """Thresholds and hysteresis for :class:`DegradeController`.
+
+    ``queue_high``/``queue_low`` are queue-fill fractions (depth over
+    watermark); ``p95_target_s`` is the latency SLO the ladder defends.
+    A decision interval breaching either high signal steps one rung
+    down; ``recover_intervals`` consecutive intervals below *both* low
+    signals step one rung up.
+    """
+
+    p95_target_s: float = 0.100
+    queue_high: float = 0.75
+    queue_low: float = 0.25
+    recover_intervals: int = 4
+    latency_window: int = 256
+    interval_s: float = 0.25
+
+
+class DegradeController:
+    """Walks the tier ladder from queue depth + rolling p95 latency."""
+
+    def __init__(
+        self,
+        ladder: Optional[Sequence[Tier]] = None,
+        config: Optional[LadderConfig] = None,
+        emit: Optional[Callable] = None,
+    ):
+        self.ladder: List[Tier] = list(ladder) if ladder is not None else default_ladder()
+        if not self.ladder:
+            raise ValueError("ladder needs at least one tier")
+        self.config = config or LadderConfig()
+        self.emit = emit
+        self.level = 0
+        self.transitions = 0
+        self._healthy_streak = 0
+        self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
+
+    @property
+    def tier(self) -> Tier:
+        return self.ladder[self.level]
+
+    def note_latency(self, seconds: float) -> None:
+        """Record one completed request's latency (queue wait included)."""
+        self._latencies.append(seconds)
+
+    def p95_s(self) -> float:
+        """Rolling p95 over the latency window (0.0 when empty)."""
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        idx = int(round(0.95 * (len(ordered) - 1)))
+        return ordered[idx]
+
+    def decide(
+        self, queue_fill: float, now: float = 0.0
+    ) -> Optional[Tuple[str, str]]:
+        """One decision interval; returns ``(from, to)`` on a transition.
+
+        ``queue_fill`` is current depth over the admission watermark.
+        """
+        cfg = self.config
+        p95 = self.p95_s()
+        pressured = queue_fill >= cfg.queue_high or p95 > cfg.p95_target_s
+        healthy = queue_fill <= cfg.queue_low and p95 <= cfg.p95_target_s
+        if pressured:
+            self._healthy_streak = 0
+            if self.level < len(self.ladder) - 1:
+                return self._step(
+                    self.level + 1,
+                    "queue" if queue_fill >= cfg.queue_high else "latency",
+                    queue_fill, p95, now,
+                )
+            return None
+        if not healthy:
+            self._healthy_streak = 0
+            return None
+        self._healthy_streak += 1
+        if self.level > 0 and self._healthy_streak >= cfg.recover_intervals:
+            self._healthy_streak = 0
+            return self._step(self.level - 1, "recovered", queue_fill, p95, now)
+        return None
+
+    def _step(
+        self, to_level: int, reason: str, queue_fill: float, p95: float, now: float
+    ) -> Tuple[str, str]:
+        frm, to = self.ladder[self.level].name, self.ladder[to_level].name
+        self.level = to_level
+        self.transitions += 1
+        if self.emit is not None:
+            self.emit(
+                "serve.degrade",
+                "info",
+                from_tier=frm,
+                to_tier=to,
+                reason=reason,
+                queue_fill=round(queue_fill, 4),
+                p95_s=round(p95, 6),
+                t=round(now, 6),
+            )
+        return frm, to

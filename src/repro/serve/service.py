@@ -1,0 +1,591 @@
+"""The asyncio prefetch service: robust by construction.
+
+:class:`PrefetchService` accepts sessionized access batches from many
+concurrent tenants and returns prefetch decisions computed by the
+tenant's budgeted engine (:mod:`repro.serve.session`) at the ladder's
+current tier (:mod:`repro.serve.degrade`).  Robustness machinery, in the
+order a request meets it:
+
+1. **Admission control / backpressure** -- the request queue is bounded
+   at ``queue_watermark``; a submit finding it full is rejected
+   *immediately* with :class:`ServiceOverloaded` (the 429 of this
+   in-process world).  Shedding at the door is what keeps latency
+   bounded for the requests that are admitted.
+2. **Deadlines** -- every request carries an absolute deadline on the
+   event-loop clock.  Workers reject expired requests when dequeuing
+   (``deadline_queued``) and re-check after the modeled execution time,
+   *before* touching session state (``deadline_executing``) -- so a
+   deadline rejection is never a half-applied batch.
+3. **Circuit breakers** -- each backend worker owns a
+   :class:`CircuitBreaker`.  Consecutive failures trip it open; an open
+   breaker takes the worker off the queue for a cooldown, then
+   half-opens and risks one probe request.  A failed probe re-opens with
+   exponential backoff (capped); a successful one closes the breaker.
+4. **Retries** -- a worker failure (e.g. the ``serve_worker_crash``
+   fault) re-enqueues the request with an incremented attempt counter.
+   :mod:`repro.faults` sites stop firing at ``max_attempt``, so
+   ``max_retries >= DEFAULT_MAX_ATTEMPT`` guarantees convergence: every
+   admitted request is eventually answered or explicitly rejected.
+5. **Degradation** -- a monitor task periodically feeds queue fill and
+   rolling p95 latency to the :class:`~repro.serve.degrade.DegradeController`
+   and sweeps idle sessions.
+
+The *only* ways a request resolves: a correct :class:`Response` at some
+tier, :class:`ServiceOverloaded`, :class:`DeadlineExceeded`, or
+:class:`ServiceClosed`.  Anything else escaping is a bug, and the chaos
+acceptance test treats it as one.
+
+Time: all waiting goes through ``loop.time()`` / ``asyncio.sleep``, so
+running under :class:`repro.serve.vtime.VirtualTimeLoop` makes the whole
+service -- queue waits, breaker cooldowns, p95s -- deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import faults
+from repro.serve.degrade import DegradeController, LadderConfig, Tier
+from repro.serve.session import SessionTable, TenantBudget
+
+__all__ = [
+    "ServeError",
+    "ServiceOverloaded",
+    "DeadlineExceeded",
+    "ServiceClosed",
+    "ServiceConfig",
+    "CircuitBreaker",
+    "Request",
+    "Response",
+    "PrefetchService",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class of every explicit service rejection."""
+
+
+class ServiceOverloaded(ServeError):
+    """Admission control shed this request (the 429 analogue)."""
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline expired before it could be answered."""
+
+
+class ServiceClosed(ServeError):
+    """The service is not accepting requests (not started or draining)."""
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for :class:`PrefetchService` (all times in seconds)."""
+
+    n_workers: int = 4
+    #: Maximum queued requests; submits beyond this are shed.
+    queue_watermark: int = 64
+    default_deadline_s: float = 0.5
+    #: Re-enqueues after worker failures; >= faults.DEFAULT_MAX_ATTEMPT
+    #: so deterministic fault sites are guaranteed to converge.
+    max_retries: int = 3
+    #: Largest accepted batch (accesses per request).
+    batch_limit: int = 512
+    # Modeled execution time: (base + per_access * len(batch)) * tier.cost.
+    base_service_s: float = 0.004
+    per_access_s: float = 0.00005
+    #: Stall injected by the ``serve_slow_reply`` fault site.
+    slow_reply_s: float = 0.4
+    # Circuit breaker: consecutive failures to trip, base cooldown,
+    # exponential backoff on failed probes, cooldown cap.
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 1.0
+    breaker_backoff: float = 2.0
+    breaker_cooldown_max_s: float = 30.0
+    #: Monitor cadence: degradation decisions + idle-session sweeps.
+    monitor_interval_s: float = 0.25
+    # Session table geometry (see SessionTable).
+    session_shards: int = 8
+    max_sessions: int = 1024
+    session_idle_ttl_s: float = 120.0
+    budget: TenantBudget = field(default_factory=TenantBudget)
+
+
+class CircuitBreaker:
+    """Per-worker breaker: closed -> open -> half-open -> closed/open."""
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(
+        self,
+        name: str,
+        threshold: int,
+        cooldown_s: float,
+        backoff: float = 2.0,
+        cooldown_max_s: float = 30.0,
+        emit: Optional[Callable] = None,
+    ):
+        self.name = name
+        self.threshold = max(1, threshold)
+        self.base_cooldown_s = cooldown_s
+        self.backoff = backoff
+        self.cooldown_max_s = cooldown_max_s
+        self.emit = emit
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self.probes_failed = 0
+        self._cooldown_s = cooldown_s
+        self._opened_at = 0.0
+
+    def blocked_for(self, now: float) -> float:
+        """Seconds this worker must stay off the queue (0 = may serve).
+
+        An open breaker whose cooldown elapsed transitions to half-open
+        here: the caller's next request is the probe.
+        """
+        if self.state != self.OPEN:
+            return 0.0
+        remaining = self._opened_at + self._cooldown_s - now
+        if remaining > 0:
+            return remaining
+        self._transition(self.HALF_OPEN, now, reason="cooldown_elapsed")
+        return 0.0
+
+    def record_success(self, now: float) -> None:
+        self.consecutive_failures = 0
+        if self.state == self.HALF_OPEN:
+            self._cooldown_s = self.base_cooldown_s
+            self._transition(self.CLOSED, now, reason="probe_ok")
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            # Failed probe: re-open, backing the cooldown off.
+            self.probes_failed += 1
+            self._cooldown_s = min(
+                self._cooldown_s * self.backoff, self.cooldown_max_s
+            )
+            self._open(now, reason="probe_failed")
+        elif (
+            self.state == self.CLOSED
+            and self.consecutive_failures >= self.threshold
+        ):
+            self._open(now, reason="threshold")
+
+    def _open(self, now: float, reason: str) -> None:
+        self.trips += 1
+        self._opened_at = now
+        self._transition(self.OPEN, now, reason=reason)
+
+    def _transition(self, to: str, now: float, reason: str) -> None:
+        frm, self.state = self.state, to
+        if self.emit is not None:
+            self.emit(
+                "serve.breaker",
+                "info" if to != self.OPEN else "warn",
+                worker=self.name,
+                from_state=frm,
+                to_state=to,
+                reason=reason,
+                cooldown_s=round(self._cooldown_s, 6),
+                t=round(now, 6),
+            )
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "worker": self.name,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+            "probes_failed": self.probes_failed,
+            "cooldown_s": self._cooldown_s,
+        }
+
+
+@dataclass
+class Request:
+    """One admitted unit of work (internal; clients use ``submit``)."""
+
+    tenant: str
+    batch: Sequence[Tuple[int, int]]
+    deadline: float
+    enqueued_at: float
+    token: str
+    attempt: int = 0
+    future: asyncio.Future = None  # type: ignore[assignment]
+
+
+@dataclass
+class Response:
+    """A successful prefetch decision."""
+
+    tenant: str
+    #: The tenant's access sequence number after this batch applied.
+    seq: int
+    tier: str
+    prefetch_lines: List[int]
+    latency_s: float
+    worker: str
+    attempts: int
+
+
+class PrefetchService:
+    """See the module docstring; construct, ``start()``, ``submit()``."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        ladder: Optional[Sequence[Tier]] = None,
+        ladder_config: Optional[LadderConfig] = None,
+        emit: Optional[Callable] = None,
+    ):
+        self.config = config or ServiceConfig()
+        if self.config.max_retries < faults.DEFAULT_MAX_ATTEMPT:
+            raise ValueError(
+                "max_retries must be >= faults.DEFAULT_MAX_ATTEMPT "
+                f"({faults.DEFAULT_MAX_ATTEMPT}) so injected worker "
+                "failures are guaranteed to converge"
+            )
+        self.emit = emit if emit is not None else self._obs_emit
+        self.controller = DegradeController(
+            ladder=ladder, config=ladder_config, emit=self.emit
+        )
+        self.sessions = SessionTable(
+            n_shards=self.config.session_shards,
+            max_sessions=self.config.max_sessions,
+            idle_ttl_s=self.config.session_idle_ttl_s,
+            budget=self.config.budget,
+            emit=self.emit,
+        )
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "served": 0,
+            "shed_overload": 0,
+            "shed_deadline_queued": 0,
+            "shed_deadline_executing": 0,
+            "worker_failures": 0,
+            "retries": 0,
+            "rejected_closed": 0,
+        }
+        self._queue: Optional[asyncio.Queue] = None
+        self._workers: List[asyncio.Task] = []
+        self._monitor: Optional[asyncio.Task] = None
+        self._breakers: List[CircuitBreaker] = []
+        self._running = False
+        self._draining = False
+        self._inflight = 0
+
+    # -- obs glue ---------------------------------------------------------
+
+    @staticmethod
+    def _obs_emit(category: str, severity: str = "info", **fields) -> None:
+        """Default event sink: the active obs session, if any."""
+        from repro.obs import get_session
+
+        session = get_session()
+        if session is not None:
+            session.events.emit(category, severity, **fields)
+
+    # -- time -------------------------------------------------------------
+
+    def _now(self) -> float:
+        return asyncio.get_running_loop().time()
+
+    async def _sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            await asyncio.sleep(seconds)
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._running:
+            raise RuntimeError("service already started")
+        cfg = self.config
+        self._queue = asyncio.Queue(maxsize=cfg.queue_watermark)
+        self._breakers = [
+            CircuitBreaker(
+                f"worker-{i}",
+                threshold=cfg.breaker_threshold,
+                cooldown_s=cfg.breaker_cooldown_s,
+                backoff=cfg.breaker_backoff,
+                cooldown_max_s=cfg.breaker_cooldown_max_s,
+                emit=self.emit,
+            )
+            for i in range(cfg.n_workers)
+        ]
+        self._running = True
+        self._draining = False
+        self._workers = [
+            asyncio.get_running_loop().create_task(self._worker(i))
+            for i in range(cfg.n_workers)
+        ]
+        self._monitor = asyncio.get_running_loop().create_task(self._monitor_loop())
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting work; optionally let queued requests finish."""
+        if not self._running:
+            return
+        self._draining = True
+        if drain:
+            await self._queue.join()
+        self._running = False
+        for task in self._workers:
+            task.cancel()
+        if self._monitor is not None:
+            self._monitor.cancel()
+        await asyncio.gather(
+            *self._workers, self._monitor, return_exceptions=True
+        )
+        self._workers = []
+        self._monitor = None
+        # Reject anything still queued (drain=False path) explicitly.
+        while self._queue is not None and not self._queue.empty():
+            request = self._queue.get_nowait()
+            self._resolve_error(
+                request, ServiceClosed("service stopped"), "rejected_closed"
+            )
+            self._queue.task_done()
+
+    # -- the front door ---------------------------------------------------
+
+    async def submit(
+        self,
+        tenant: str,
+        batch: Sequence[Tuple[int, int]],
+        deadline_s: Optional[float] = None,
+    ) -> Response:
+        """One prefetch request; returns a Response or raises a ServeError."""
+        if not self._running or self._draining:
+            self.counters["rejected_closed"] += 1
+            raise ServiceClosed("service is not accepting requests")
+        if len(batch) > self.config.batch_limit:
+            raise ValueError(
+                f"batch of {len(batch)} exceeds batch_limit "
+                f"{self.config.batch_limit}"
+            )
+        now = self._now()
+        index = self.counters["submitted"]
+        self.counters["submitted"] += 1
+        request = Request(
+            tenant=tenant,
+            batch=batch,
+            deadline=now + (
+                deadline_s if deadline_s is not None
+                else self.config.default_deadline_s
+            ),
+            enqueued_at=now,
+            token=f"{tenant}:{index}",
+            future=asyncio.get_running_loop().create_future(),
+        )
+        try:
+            self._queue.put_nowait(request)
+        except asyncio.QueueFull:
+            self.counters["shed_overload"] += 1
+            self.emit(
+                "serve.shed", "debug",
+                tenant=tenant, reason="queue_full",
+                depth=self._queue.qsize(),
+                watermark=self.config.queue_watermark,
+            )
+            raise ServiceOverloaded(
+                f"request queue at watermark "
+                f"({self.config.queue_watermark}); request shed"
+            ) from None
+        return await request.future
+
+    # -- workers ----------------------------------------------------------
+
+    async def _worker(self, idx: int) -> None:
+        breaker = self._breakers[idx]
+        name = breaker.name
+        while True:
+            blocked = breaker.blocked_for(self._now())
+            if blocked > 0:
+                await self._sleep(blocked)
+                continue
+            request = await self._queue.get()
+            try:
+                await self._handle(request, name, breaker)
+            finally:
+                self._queue.task_done()
+
+    async def _handle(
+        self, request: Request, worker: str, breaker: CircuitBreaker
+    ) -> None:
+        now = self._now()
+        if request.future.done():
+            return
+        if now >= request.deadline:
+            self._resolve_error(
+                request,
+                DeadlineExceeded(
+                    f"deadline expired while queued "
+                    f"({now - request.enqueued_at:.3f}s in queue)"
+                ),
+                "shed_deadline_queued",
+            )
+            return
+        tier = self.controller.tier
+        self._inflight += 1
+        try:
+            response = await self._execute(request, tier, worker)
+        except faults.InjectedFault:
+            breaker.record_failure(self._now())
+            self.counters["worker_failures"] += 1
+            self.emit(
+                "serve.worker_fail", "debug",
+                worker=worker, tenant=request.tenant,
+                attempt=request.attempt, token=request.token,
+            )
+            self._retry(request)
+            return
+        except DeadlineExceeded as exc:
+            # Expired mid-execution: session state was *not* mutated
+            # (the deadline gate precedes apply), so rejecting is safe.
+            breaker.record_success(self._now())
+            self._resolve_error(request, exc, "shed_deadline_executing")
+            return
+        finally:
+            self._inflight -= 1
+        breaker.record_success(self._now())
+        self.counters["served"] += 1
+        self.controller.note_latency(response.latency_s)
+        if not request.future.done():
+            request.future.set_result(response)
+
+    async def _execute(
+        self, request: Request, tier: Tier, worker: str
+    ) -> Response:
+        cfg = self.config
+        # Fault sites, in failure order: a crash aborts before any work;
+        # a slow reply stalls before the deadline gate, so it surfaces
+        # as deadline_executing when the stall exceeds the budget.
+        faults.fire("serve_worker_crash", request.token, request.attempt)
+        if faults.should_fire("serve_slow_reply", request.token, request.attempt):
+            await self._sleep(cfg.slow_reply_s)
+        await self._sleep(
+            (cfg.base_service_s + cfg.per_access_s * len(request.batch))
+            * tier.cost
+        )
+        now = self._now()
+        if now >= request.deadline or faults.should_fire(
+            "serve_deadline", request.token, request.attempt
+        ):
+            raise DeadlineExceeded(
+                f"deadline expired while executing (attempt {request.attempt})"
+            )
+        session = self.sessions.get_or_create(request.tenant, now)
+        lines = session.apply(request.batch, tier, now=now)
+        return Response(
+            tenant=request.tenant,
+            seq=session.seq,
+            tier=tier.name,
+            prefetch_lines=lines,
+            latency_s=self._now() - request.enqueued_at,
+            worker=worker,
+            attempts=request.attempt + 1,
+        )
+
+    def _retry(self, request: Request) -> None:
+        """Re-enqueue a failed request, or reject it explicitly."""
+        now = self._now()
+        if now >= request.deadline:
+            self._resolve_error(
+                request,
+                DeadlineExceeded(
+                    f"deadline expired after worker failure "
+                    f"(attempt {request.attempt})"
+                ),
+                "shed_deadline_queued",
+            )
+            return
+        if request.attempt + 1 > self.config.max_retries:
+            self._resolve_error(
+                request,
+                ServiceOverloaded(
+                    f"no healthy worker answered within "
+                    f"{self.config.max_retries} retries"
+                ),
+                "shed_overload",
+            )
+            return
+        request.attempt += 1
+        self.counters["retries"] += 1
+        try:
+            self._queue.put_nowait(request)
+        except asyncio.QueueFull:
+            self.counters["shed_overload"] += 1
+            self._resolve_error(
+                request,
+                ServiceOverloaded("queue full while retrying after failure"),
+                counter=None,
+            )
+
+    def _resolve_error(
+        self, request: Request, error: ServeError, counter: Optional[str]
+    ) -> None:
+        if counter is not None:
+            self.counters[counter] += 1
+        if not request.future.done():
+            request.future.set_exception(error)
+
+    # -- monitor ----------------------------------------------------------
+
+    async def _monitor_loop(self) -> None:
+        cfg = self.config
+        while True:
+            await self._sleep(cfg.monitor_interval_s)
+            now = self._now()
+            fill = self._queue.qsize() / max(1, cfg.queue_watermark)
+            self.controller.decide(fill, now=now)
+            self.sessions.sweep_idle(now)
+
+    # -- surfaces ---------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """A liveness/health snapshot (the item-5 report surface)."""
+        breakers = [b.snapshot() for b in self._breakers]
+        open_count = sum(1 for b in breakers if b["state"] != "closed")
+        depth = self._queue.qsize() if self._queue is not None else 0
+        fill = depth / max(1, self.config.queue_watermark)
+        if not self._running:
+            status = "closed"
+        elif (breakers and open_count == len(breakers)) or fill >= 1.0:
+            status = "overloaded"
+        elif self.controller.level > 0 or open_count:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "tier": self.controller.tier.name,
+            "degrade_level": self.controller.level,
+            "degrade_transitions": self.controller.transitions,
+            "queue_depth": depth,
+            "queue_watermark": self.config.queue_watermark,
+            "inflight": self._inflight,
+            "p95_s": round(self.controller.p95_s(), 6),
+            "breakers": breakers,
+            "sessions": self.sessions.stats(),
+            "counters": dict(self.counters),
+        }
+
+    def ready(self) -> Dict[str, object]:
+        """Readiness: can this service accept a request right now?"""
+        reasons = []
+        if not self._running:
+            reasons.append("not started")
+        if self._draining:
+            reasons.append("draining")
+        if self._breakers and all(
+            b.state == CircuitBreaker.OPEN for b in self._breakers
+        ):
+            reasons.append("all breakers open")
+        if (
+            self._queue is not None
+            and self._queue.qsize() >= self.config.queue_watermark
+        ):
+            reasons.append("queue at watermark")
+        return {"ready": not reasons, "reasons": reasons}

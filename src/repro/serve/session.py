@@ -1,0 +1,209 @@
+"""Per-tenant serving sessions and the sharded, bounded session table.
+
+A *tenant* is one client stream (one user, one core, one trace shard).
+Each tenant gets a :class:`TenantSession` owning its own prefetcher
+engines -- metadata is never shared across tenants, which is both the
+multi-tenant isolation story and what makes the paper's budget question
+concrete: every tenant's temporal metadata is capped by a
+:class:`TenantBudget`, exactly as an on-chip store caps a core.
+
+Sessions live in a :class:`SessionTable` sharded by tenant hash.  Each
+shard is an LRU bounded two ways, mirroring the ``_TRACE_MEMO`` pattern
+in :mod:`repro.sim.parallel`:
+
+* **capacity** -- a shard over its session limit evicts its
+  least-recently-used tenant;
+* **idle TTL** -- the service's monitor loop sweeps sessions idle past
+  ``idle_ttl_s``, so millions of abandoned tenants cannot pin memory.
+
+Every eviction emits a ``serve.session_evict`` trace event with the
+reason.  An evicted tenant that returns simply gets a cold session --
+the same contract as a metadata-store eviction in the simulator.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+KB = 1024
+
+__all__ = ["TenantBudget", "TenantSession", "SessionTable"]
+
+
+@dataclass(frozen=True)
+class TenantBudget:
+    """Per-tenant resource caps applied when building engines.
+
+    ``metadata_bytes`` caps the Triage/Triangel metadata store exactly
+    like the paper's on-chip budget; ``epoch_accesses`` scales the
+    partition/epoch machinery to serving-sized streams.
+    """
+
+    metadata_bytes: int = 64 * KB
+    epoch_accesses: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.metadata_bytes <= 0:
+            raise ValueError("metadata_bytes must be positive")
+
+
+class TenantSession:
+    """One tenant's engines, sequence state and accounting."""
+
+    __slots__ = (
+        "tenant", "budget", "created_at", "last_active", "seq",
+        "served", "served_by_tier", "_engines",
+    )
+
+    def __init__(self, tenant: str, budget: TenantBudget, now: float = 0.0):
+        self.tenant = tenant
+        self.budget = budget
+        self.created_at = now
+        self.last_active = now
+        #: Accesses applied so far; echoed in responses so a client can
+        #: detect whether a timed-out request was ever applied.
+        self.seq = 0
+        self.served = 0
+        self.served_by_tier: Dict[str, int] = {}
+        self._engines: Dict[str, object] = {}
+
+    def engine_for(self, tier) -> Optional[object]:
+        """The tenant's engine for ``tier``, built on first use.
+
+        Engines are cached per tier name, so a tenant degraded to
+        ``stride`` and later recovered resumes its warm Triangel
+        metadata rather than rebuilding from scratch.
+        """
+        if tier.name not in self._engines:
+            self._engines[tier.name] = tier.build(self.budget)
+        return self._engines[tier.name]
+
+    def apply(
+        self, batch: Sequence[Tuple[int, int]], tier, now: float = 0.0
+    ) -> List[int]:
+        """Feed one batch of ``(pc, line)`` accesses; return prefetch lines.
+
+        Mutates session state -- callers must only invoke this once per
+        *accepted* request (the service checks deadlines first), so a
+        rejected request provably leaves the session untouched.
+        """
+        engine = self.engine_for(tier)
+        lines: List[int] = []
+        seen = set()
+        if engine is None:  # passthrough tier: acknowledge, no candidates
+            self.seq += len(batch)
+        else:
+            for pc, line in batch:
+                for candidate in engine.observe(pc, line):
+                    if candidate.line not in seen:
+                        seen.add(candidate.line)
+                        lines.append(candidate.line)
+                self.seq += 1
+        self.last_active = now
+        self.served += 1
+        self.served_by_tier[tier.name] = self.served_by_tier.get(tier.name, 0) + 1
+        return lines
+
+    def tiers_built(self) -> List[str]:
+        return sorted(self._engines)
+
+
+class SessionTable:
+    """Sharded LRU of tenant sessions with capacity + idle-TTL bounds."""
+
+    def __init__(
+        self,
+        n_shards: int = 8,
+        max_sessions: int = 1024,
+        idle_ttl_s: float = 300.0,
+        budget: Optional[TenantBudget] = None,
+        emit: Optional[Callable] = None,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if max_sessions < n_shards:
+            raise ValueError("max_sessions must be >= n_shards")
+        self.n_shards = n_shards
+        #: Per-shard capacity; the table's global bound is the sum.
+        self.shard_capacity = max(1, max_sessions // n_shards)
+        self.idle_ttl_s = idle_ttl_s
+        self.budget = budget or TenantBudget()
+        self.emit = emit
+        self._shards: List[OrderedDict] = [OrderedDict() for _ in range(n_shards)]
+        self.evictions: Dict[str, int] = {"capacity": 0, "idle": 0}
+        self.created = 0
+
+    def _shard_of(self, tenant: str) -> OrderedDict:
+        # sha-free stable shard: Python's str hash is randomized per
+        # process, which would make shard placement (and thus eviction
+        # order) nondeterministic across runs.
+        digest = 0
+        for ch in tenant:
+            digest = (digest * 131 + ord(ch)) & 0xFFFFFFFF
+        return self._shards[digest % self.n_shards]
+
+    def get_or_create(self, tenant: str, now: float = 0.0) -> TenantSession:
+        """The tenant's session, freshly built if absent (LRU-touched)."""
+        shard = self._shard_of(tenant)
+        session = shard.get(tenant)
+        if session is None:
+            session = TenantSession(tenant, self.budget, now=now)
+            shard[tenant] = session
+            self.created += 1
+            while len(shard) > self.shard_capacity:
+                victim_id, victim = next(iter(shard.items()))
+                del shard[victim_id]
+                self._note_eviction(victim, "capacity", now)
+        else:
+            shard.move_to_end(tenant)
+        session.last_active = now
+        return session
+
+    def sweep_idle(self, now: float) -> int:
+        """Evict every session idle past the TTL; returns how many."""
+        evicted = 0
+        for shard in self._shards:
+            stale = [
+                tenant
+                for tenant, session in shard.items()
+                if now - session.last_active > self.idle_ttl_s
+            ]
+            for tenant in stale:
+                victim = shard.pop(tenant)
+                self._note_eviction(victim, "idle", now)
+                evicted += 1
+        return evicted
+
+    def _note_eviction(self, session: TenantSession, reason: str, now: float) -> None:
+        self.evictions[reason] = self.evictions.get(reason, 0) + 1
+        if self.emit is not None:
+            self.emit(
+                "serve.session_evict",
+                "info",
+                tenant=session.tenant,
+                reason=reason,
+                served=session.served,
+                idle_s=round(now - session.last_active, 6),
+                tiers=session.tiers_built(),
+            )
+
+    def get(self, tenant: str) -> Optional[TenantSession]:
+        """Peek without creating or LRU-touching (tests, health)."""
+        return self._shard_of(tenant).get(tenant)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._shard_of(tenant)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "sessions": len(self),
+            "shards": self.n_shards,
+            "shard_capacity": self.shard_capacity,
+            "created": self.created,
+            "evictions": dict(self.evictions),
+        }

@@ -1,0 +1,92 @@
+"""Virtual-time asyncio event loop for deterministic serving tests.
+
+The serving layer (:mod:`repro.serve.service`) measures queue waits,
+deadlines and latency percentiles on *event-loop time*
+(``loop.time()``).  On a normal loop that is the wall clock, so a load
+test's p50/p95 would wobble with the host -- useless as a regression
+gate.  :class:`VirtualTimeLoop` replaces the clock with a virtual one
+that **jumps** to the next scheduled timer whenever the loop has nothing
+ready to run: a ten-minute diurnal load shape executes in milliseconds,
+every ``await asyncio.sleep(x)`` advances time by exactly ``x``, and two
+runs of the same scenario produce bit-identical timelines.  That is what
+lets ``BENCH_ext_serving.json`` gate p95 latency and shed rate in CI the
+same way the figure trajectories gate KPIs.
+
+The loop is only suitable for pure-computation workloads (no sockets,
+no subprocesses): anything that parks in the selector with no timer
+armed would hang, so :meth:`VirtualTimeLoop._run_once` asserts timers
+exist whenever it would otherwise block forever.
+
+Determinism note: callbacks scheduled for the same virtual instant run
+in submission order (asyncio's scheduled-heap tie-break is stable for a
+single-threaded program), so the whole serving simulation is a pure
+function of its inputs and the armed fault plan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+from typing import Awaitable, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["VirtualTimeLoop", "run_virtual"]
+
+
+class VirtualTimeLoop(asyncio.SelectorEventLoop):
+    """A selector loop whose clock jumps to the next timer when idle."""
+
+    def __init__(self):
+        super().__init__(selectors.SelectSelector())
+        self._virtual_now = 0.0
+
+    def time(self) -> float:
+        return self._virtual_now
+
+    def _run_once(self) -> None:
+        # With nothing ready, jump the clock to the earliest timer so the
+        # selector never actually waits; with nothing ready *and* no
+        # timers the loop would block forever on the selector, which in a
+        # pure-computation simulation means a deadlocked await graph.
+        if not self._ready:
+            while self._scheduled and self._scheduled[0]._cancelled:
+                asyncio.base_events.heapq.heappop(self._scheduled)
+            if self._scheduled:
+                when = self._scheduled[0]._when
+                if when > self._virtual_now:
+                    self._virtual_now = when
+            elif not self._stopping:
+                raise RuntimeError(
+                    "VirtualTimeLoop is idle with no timers scheduled: "
+                    "the awaited tasks can never make progress"
+                )
+        super()._run_once()
+
+
+def run_virtual(coro: Awaitable[T]) -> T:
+    """``asyncio.run`` on a fresh :class:`VirtualTimeLoop`.
+
+    The loop is closed afterwards and never installed as the global
+    event-loop policy, so callers (pytest, the CLI) see no side effects.
+    """
+    loop = VirtualTimeLoop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        try:
+            _cancel_pending(loop)
+        finally:
+            loop.close()
+
+
+def _cancel_pending(loop: VirtualTimeLoop) -> None:
+    """Cancel any stragglers so ``loop.close()`` is clean."""
+    pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+    if not pending:
+        return
+    for task in pending:
+        task.cancel()
+    loop.run_until_complete(
+        asyncio.gather(*pending, return_exceptions=True)
+    )

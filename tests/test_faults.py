@@ -129,3 +129,43 @@ class TestProcessPlan:
         target.write_text('{"ok": true}')
         assert not faults.corrupt_file(target, "cache_corrupt", "k")
         assert target.read_text() == '{"ok": true}'
+
+
+class TestSiteRegistry:
+    """SITE_REGISTRY is the single documented list of fault sites."""
+
+    def test_registry_describes_every_site(self):
+        assert tuple(faults.SITE_REGISTRY) == faults.SITES
+        for site, description in faults.SITE_REGISTRY.items():
+            assert description, f"{site} has no description"
+
+    def test_serve_sites_are_registered(self):
+        assert {"serve_worker_crash", "serve_slow_reply", "serve_deadline"} \
+            <= set(faults.SITES)
+
+    def test_configure_still_raises_on_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            faults.configure("typo_site:0.5")
+
+    def test_env_typo_is_dropped_with_one_warning(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "typo_site:0.5,trace_io:1.0:99")
+        plan = faults.plan_from_env()
+        assert "typo_site" not in plan.sites
+        assert "trace_io" in plan.sites  # valid clauses survive the typo
+        err = capsys.readouterr().err
+        assert err.count("typo_site") == 1
+        # A second parse does not warn again (warn-once per process).
+        faults.plan_from_env()
+        assert "typo_site" not in capsys.readouterr().err
+
+    def test_env_typo_does_not_crash_fault_hooks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "definitely_not_a_site:1.0")
+        assert faults.should_fire("worker_crash", "t") is False
+        faults.fire("worker_crash", "t")  # must not raise
+
+    def test_reset_clears_the_warned_set(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "typo_site:0.5")
+        faults.plan_from_env()
+        faults.reset()
+        faults.plan_from_env()
+        assert capsys.readouterr().err.count("typo_site") == 2

@@ -27,6 +27,7 @@ import pytest
 
 from repro import cache
 from repro.experiments import common
+from repro.experiments import ext_engine_validation as ext_engines
 from repro.experiments import ext_triangel_headtohead as ext_triangel
 from repro.experiments import fig05_irregular_speedup as fig05
 from repro.experiments import fig11_offchip_comparison as fig11
@@ -37,7 +38,12 @@ GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
 #: epochs, small enough to keep both figures under ~10 s of test time.
 GOLDEN_N = 4_000
 
-FIGURES = {"fig05": fig05, "fig11": fig11, "ext_triangel": ext_triangel}
+FIGURES = {
+    "fig05": fig05,
+    "fig11": fig11,
+    "ext_triangel": ext_triangel,
+    "ext_engines": ext_engines,
+}
 
 #: Cross-platform slack for libm differences (exp/log in geomeans); any
 #: real modeling change moves results orders of magnitude more.

@@ -1,0 +1,552 @@
+"""The serving layer's robustness contract, provoked edge by edge.
+
+The acceptance bar for :mod:`repro.serve` is absolute: every submitted
+request is either answered *correctly* (at some ladder tier) or rejected
+*explicitly* (``ServiceOverloaded`` / ``DeadlineExceeded`` /
+``ServiceClosed``) -- never silently dropped, never answered from
+half-applied session state.  These tests pin the edges where that
+contract is easiest to break:
+
+* admission exactly at the queue watermark (full-but-not-over accepted,
+  one past shed);
+* deadlines expiring while *queued* vs while *executing* -- the second
+  must provably leave session state untouched;
+* a circuit breaker's half-open probe failing (cooldown backs off
+  exponentially) and later succeeding (breaker closes, cooldown resets);
+* the degradation ladder stepping down under pressure and recovering
+  upward only after the hysteresis streak;
+* session-table LRU + idle-TTL eviction, with ``serve.session_evict``
+  events;
+* chaos acceptance: under injected worker crashes and slow replies, a
+  loadtest finishes with zero unhandled exceptions, and an oracle replay
+  of every served response reproduces its prefetch lines exactly.
+
+Everything runs on the virtual-time loop, so timings in these tests are
+exact, not flaky-sleep approximations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import defaultdict
+
+import pytest
+
+from repro import faults
+from repro.serve import (
+    DeadlineExceeded,
+    DegradeController,
+    LadderConfig,
+    LoadgenConfig,
+    PrefetchService,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceOverloaded,
+    SessionTable,
+    TenantBudget,
+    Tier,
+    default_ladder,
+    passthrough_tier,
+    run_loadtest,
+    run_virtual,
+)
+from repro.serve.loadgen import SHAPES, _arrival_schedule
+
+BATCH = [(0x400000 + i * 4, 0x10000 + i) for i in range(8)]
+
+#: A free tier with the *full* modeled cost: service-time math stays
+#: exact while tests that don't care about engines skip building them.
+NULL_TIER = Tier("null", 1.0, lambda budget: None, "test tier")
+
+
+@pytest.fixture(autouse=True)
+def _disarmed(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def make_service(ladder=None, **overrides) -> PrefetchService:
+    kwargs = dict(
+        n_workers=1,
+        queue_watermark=4,
+        base_service_s=0.01,
+        per_access_s=0.0,
+    )
+    kwargs.update(overrides)
+    config = ServiceConfig(**kwargs)
+    return PrefetchService(
+        config=config, ladder=ladder or [NULL_TIER], emit=lambda *a, **k: None
+    )
+
+
+class TestVirtualTime:
+    def test_sleep_advances_clock_exactly(self):
+        async def clock():
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            await asyncio.sleep(123.456)
+            return loop.time() - t0
+
+        assert run_virtual(clock()) == pytest.approx(123.456)
+
+    def test_deadlocked_await_raises_instead_of_hanging(self):
+        async def hang():
+            await asyncio.get_running_loop().create_future()
+
+        with pytest.raises(RuntimeError, match="no timers"):
+            run_virtual(hang())
+
+
+class TestAdmissionControl:
+    def test_queue_exactly_at_watermark_accepts_one_past_sheds(self):
+        async def scenario():
+            service = make_service(base_service_s=1.0)
+            await service.start()
+            loop = asyncio.get_running_loop()
+            first = loop.create_task(
+                service.submit("t0", BATCH, deadline_s=100.0)
+            )
+            await asyncio.sleep(0.001)  # worker now executing t0
+            assert service._queue.qsize() == 0
+            waiters = [
+                loop.create_task(
+                    service.submit(f"t{i + 1}", BATCH, deadline_s=100.0)
+                )
+                for i in range(4)
+            ]
+            await asyncio.sleep(0.001)
+            # Exactly at the watermark: all four accepted, none shed.
+            assert service._queue.qsize() == 4
+            assert service.counters["shed_overload"] == 0
+            assert not service.ready()["ready"]  # queue at watermark
+            with pytest.raises(ServiceOverloaded):
+                await service.submit("t9", BATCH, deadline_s=100.0)
+            assert service.counters["shed_overload"] == 1
+            responses = await asyncio.gather(first, *waiters)
+            assert [r.tenant for r in responses] == [
+                f"t{i}" for i in range(5)
+            ]
+            await service.stop()
+            assert service.counters["served"] == 5
+
+        run_virtual(scenario())
+
+    def test_submit_before_start_and_after_stop_is_closed(self):
+        async def scenario():
+            service = make_service()
+            with pytest.raises(ServiceClosed):
+                await service.submit("t", BATCH)
+            await service.start()
+            await service.submit("t", BATCH)
+            await service.stop()
+            with pytest.raises(ServiceClosed):
+                await service.submit("t", BATCH)
+            assert service.counters["rejected_closed"] == 2
+
+        run_virtual(scenario())
+
+    def test_oversized_batch_rejected(self):
+        async def scenario():
+            service = make_service(batch_limit=4)
+            await service.start()
+            with pytest.raises(ValueError, match="batch_limit"):
+                await service.submit("t", BATCH)
+            await service.stop()
+
+        run_virtual(scenario())
+
+
+class TestDeadlines:
+    def test_deadline_expiring_while_queued(self):
+        async def scenario():
+            service = make_service(base_service_s=0.5)
+            await service.start()
+            loop = asyncio.get_running_loop()
+            slow = loop.create_task(
+                service.submit("a", BATCH, deadline_s=10.0)
+            )
+            await asyncio.sleep(0.001)  # worker busy with 'a' for 0.5s
+            with pytest.raises(DeadlineExceeded, match="while queued"):
+                await service.submit("b", BATCH, deadline_s=0.2)
+            await slow
+            await service.stop()
+            assert service.counters["shed_deadline_queued"] == 1
+            assert service.counters["served"] == 1
+            # 'b' was rejected before execution: no session was created.
+            assert service.sessions.get("b") is None
+
+        run_virtual(scenario())
+
+    def test_deadline_expiring_while_executing_leaves_session_untouched(self):
+        async def scenario():
+            service = make_service(base_service_s=0.5)
+            await service.start()
+            with pytest.raises(DeadlineExceeded, match="while executing"):
+                await service.submit("t", BATCH, deadline_s=0.2)
+            await service.stop()
+            assert service.counters["shed_deadline_executing"] == 1
+            # The deadline gate precedes session mutation: no session.
+            assert service.sessions.get("t") is None
+
+        run_virtual(scenario())
+
+
+class TestCircuitBreaker:
+    def test_half_open_probe_failure_backs_off_then_recovery_closes(self):
+        async def scenario():
+            service = make_service(
+                breaker_threshold=2,
+                breaker_cooldown_s=0.5,
+                breaker_backoff=2.0,
+                max_retries=3,
+            )
+            await service.start()
+            breaker = service._breakers[0]
+            # Every attempt crashes (rate 1.0 up to attempt 10): two
+            # failures trip the breaker, each half-open probe fails and
+            # doubles the cooldown, and retry exhaustion surfaces as an
+            # explicit overload rejection.
+            faults.configure("serve_worker_crash:1.0:10", seed=1)
+            with pytest.raises(ServiceOverloaded, match="retries"):
+                await service.submit("t", BATCH, deadline_s=60.0)
+            assert breaker.state == "open"
+            assert breaker.trips == 3  # threshold trip + 2 failed probes
+            assert breaker.probes_failed == 2
+            assert breaker._cooldown_s == pytest.approx(2.0)  # 0.5 * 2 * 2
+            assert service.counters["worker_failures"] == 4
+            assert service.counters["retries"] == 3
+
+            # Faults disarmed: the next half-open probe succeeds, the
+            # breaker closes and the cooldown resets to its base.
+            faults.reset()
+            response = await service.submit("t", BATCH, deadline_s=60.0)
+            assert response.tier == "null"
+            assert breaker.state == "closed"
+            assert breaker._cooldown_s == pytest.approx(0.5)
+            await service.stop()
+
+        run_virtual(scenario())
+
+    def test_open_breaker_blocks_worker_for_cooldown(self):
+        from repro.serve.service import CircuitBreaker
+
+        breaker = CircuitBreaker("w", threshold=1, cooldown_s=2.0)
+        breaker.record_failure(now=10.0)
+        assert breaker.state == "open"
+        assert breaker.blocked_for(11.0) == pytest.approx(1.0)
+        # Cooldown elapsed: transitions to half-open, worker may probe.
+        assert breaker.blocked_for(12.5) == 0.0
+        assert breaker.state == "half_open"
+
+
+class TestDegradeLadder:
+    @staticmethod
+    def controller(events):
+        return DegradeController(
+            config=LadderConfig(recover_intervals=2, latency_window=4),
+            emit=lambda cat, sev, **fields: events.append((cat, fields)),
+        )
+
+    def test_steps_down_on_queue_and_latency_breach(self):
+        events = []
+        ctl = self.controller(events)
+        assert ctl.tier.name == "triangel"
+        assert ctl.decide(0.9, now=1.0) == ("triangel", "triage_degree1")
+        for _ in range(4):
+            ctl.note_latency(0.5)  # p95 far over the 100ms target
+        assert ctl.decide(0.0, now=2.0) == ("triage_degree1", "stride")
+        reasons = [fields["reason"] for _, fields in events]
+        assert reasons == ["queue", "latency"]
+
+    def test_recovers_upward_only_after_hysteresis_streak(self):
+        events = []
+        ctl = self.controller(events)
+        ctl.decide(0.9, now=1.0)  # down to triage_degree1
+        for _ in range(4):
+            ctl.note_latency(0.001)  # healthy latencies flush the window
+        assert ctl.decide(0.0, now=2.0) is None  # streak 1 of 2
+        assert ctl.decide(0.0, now=3.0) == ("triage_degree1", "triangel")
+        assert ctl.level == 0
+        up = [f for _, f in events if f["reason"] == "recovered"]
+        assert up and up[0]["to_tier"] == "triangel"
+
+    def test_pressure_resets_the_healthy_streak(self):
+        ctl = self.controller([])
+        ctl.decide(0.9, now=1.0)
+        assert ctl.decide(0.0, now=2.0) is None  # healthy, streak 1
+        ctl.decide(0.5, now=3.0)  # neither healthy nor pressured: reset
+        assert ctl.decide(0.0, now=4.0) is None  # streak restarts at 1
+        assert ctl.decide(0.0, now=5.0) is not None
+
+    def test_bottom_of_ladder_holds(self):
+        ctl = DegradeController(
+            ladder=[NULL_TIER, passthrough_tier()],
+            config=LadderConfig(),
+        )
+        assert ctl.decide(1.0, now=1.0) is not None
+        assert ctl.decide(1.0, now=2.0) is None  # already at the bottom
+        assert ctl.tier.name == "passthrough"
+
+
+class TestSessionTable:
+    def test_lru_capacity_eviction_emits_event(self):
+        events = []
+        table = SessionTable(
+            n_shards=1, max_sessions=2,
+            emit=lambda cat, sev, **fields: events.append((cat, fields)),
+        )
+        table.get_or_create("a", now=1.0)
+        table.get_or_create("b", now=2.0)
+        table.get_or_create("a", now=3.0)  # touch: 'b' is now LRU
+        table.get_or_create("c", now=4.0)
+        assert "b" not in table
+        assert "a" in table and "c" in table
+        assert table.evictions["capacity"] == 1
+        assert events[0][0] == "serve.session_evict"
+        assert events[0][1]["tenant"] == "b"
+        assert events[0][1]["reason"] == "capacity"
+
+    def test_idle_ttl_sweep(self):
+        events = []
+        table = SessionTable(
+            n_shards=2, max_sessions=8, idle_ttl_s=10.0,
+            emit=lambda cat, sev, **fields: events.append((cat, fields)),
+        )
+        table.get_or_create("old", now=0.0)
+        table.get_or_create("fresh", now=95.0)
+        assert table.sweep_idle(now=100.0) == 1
+        assert "old" not in table and "fresh" in table
+        assert table.evictions["idle"] == 1
+        assert events[0][1]["reason"] == "idle"
+
+    def test_shard_placement_is_deterministic(self):
+        a = SessionTable(n_shards=8, max_sessions=64)
+        b = SessionTable(n_shards=8, max_sessions=64)
+        for tenant in ("alpha", "beta", "gamma", "tenant-42"):
+            assert a._shards.index(a._shard_of(tenant)) == b._shards.index(
+                b._shard_of(tenant)
+            )
+
+    def test_service_monitor_sweeps_idle_sessions(self):
+        async def scenario():
+            service = make_service(
+                session_idle_ttl_s=1.0, monitor_interval_s=0.25
+            )
+            await service.start()
+            await service.submit("t", BATCH, deadline_s=10.0)
+            assert service.sessions.get("t") is not None
+            await asyncio.sleep(2.0)  # monitor ticks past the TTL
+            assert service.sessions.get("t") is None
+            await service.stop()
+
+        run_virtual(scenario())
+
+
+class TestEngineTiers:
+    def test_real_tiers_produce_candidates_and_cache_engines(self):
+        async def scenario():
+            service = PrefetchService(
+                config=ServiceConfig(n_workers=1, queue_watermark=8),
+                emit=lambda *a, **k: None,
+            )
+            await service.start()
+            # A recurring temporal pattern the full tier can learn.
+            pattern = [(0x400, 0x100 + i) for i in range(16)]
+            lines = 0
+            for _ in range(6):
+                response = await service.submit("t", pattern, deadline_s=10.0)
+                assert response.tier == "triangel"
+                lines += len(response.prefetch_lines)
+            assert lines > 0
+            session = service.sessions.get("t")
+            assert session.tiers_built() == ["triangel"]
+            assert session.seq == 6 * len(pattern)
+            await service.stop()
+
+        run_virtual(scenario())
+
+
+class TestLoadgen:
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown shape"):
+            LoadgenConfig(shape="sawtooth")
+
+    def test_arrival_schedule_is_deterministic_and_tracks_rate(self):
+        cfg = LoadgenConfig(duration_s=10.0, base_rps=50.0, seed=3)
+        a = _arrival_schedule(cfg)
+        b = _arrival_schedule(cfg)
+        assert a == b
+        # Ramp integrates to ~1.05x base over the run.
+        assert len(a) == pytest.approx(50.0 * 10.0 * 1.05, rel=0.02)
+        assert all(0 <= t < cfg.duration_s for t, _ in a)
+        assert {tenant for _, tenant in a} <= set(range(cfg.n_tenants))
+
+    def test_loadtest_is_bit_deterministic(self):
+        def go():
+            faults.configure("serve_worker_crash:0.2,serve_slow_reply:0.1", seed=42)
+            try:
+                report = run_loadtest(
+                    LoadgenConfig(
+                        shape="spike", duration_s=10.0, base_rps=100.0,
+                        n_tenants=4, trace_accesses=256, seed=5,
+                    ),
+                    ServiceConfig(n_workers=2, queue_watermark=8),
+                )
+            finally:
+                faults.reset()
+            return report.summary()
+
+        assert go() == go()
+
+    def test_every_shape_runs_clean(self):
+        for shape in sorted(SHAPES):
+            report = run_loadtest(
+                LoadgenConfig(
+                    shape=shape, duration_s=5.0, base_rps=40.0,
+                    n_tenants=4, trace_accesses=256,
+                ),
+                ServiceConfig(n_workers=2, queue_watermark=8),
+            )
+            assert report.errors_unhandled == 0
+            assert report.served + report.shed == report.requests
+            kpis = report.kpis()
+            assert kpis["p95_latency_ms"] >= kpis["p50_latency_ms"] >= 0
+
+
+class TestChaosAcceptance:
+    """The headline invariant: faults shed load, they never wrong an answer."""
+
+    def test_faulted_loadtest_sheds_explicitly_never_fails(self):
+        faults.configure("serve_worker_crash:0.2,serve_slow_reply:0.1", seed=42)
+        try:
+            report = run_loadtest(
+                LoadgenConfig(
+                    shape="ramp", duration_s=15.0, base_rps=80.0,
+                    n_tenants=6, trace_accesses=512, seed=11,
+                ),
+                ServiceConfig(n_workers=4, queue_watermark=16),
+            )
+            crashes_fired = faults.FIRED.get("serve_worker_crash", 0)
+        finally:
+            faults.reset()
+        assert report.errors_unhandled == 0
+        assert report.served + report.shed == report.requests
+        assert report.served > 0  # degraded, not dead
+        assert crashes_fired > 0  # chaos was real
+
+    def test_oracle_replay_of_served_responses_is_exact(self):
+        """Replay every served batch through a fresh engine: identical lines.
+
+        The ladder is pinned to one real tier so the oracle knows which
+        engine to rebuild.  Responses are ordered by session sequence
+        number -- if a rejected request had secretly mutated state, or a
+        retry had double-applied, the replay would diverge.
+        """
+        tier = default_ladder()[1]  # triage_degree1: real temporal engine
+        from repro.workloads import irregular
+
+        trace = irregular.chain_trace(
+            "oracle", 960, seed=9, hot_lines=500, cold_lines=2_000,
+            hot_chains=4, cold_chains=8, pcs=4,
+        )
+        stream = [(pc, addr >> 6) for pc, addr, _ in trace]
+        tenants = [f"t{i}" for i in range(4)]
+        batches = {
+            tenant: [stream[(i * 8) % len(stream):][:8] for i in range(30)]
+            for tenant in tenants
+        }
+
+        async def scenario():
+            service = PrefetchService(
+                config=ServiceConfig(
+                    n_workers=3, queue_watermark=16, max_retries=3
+                ),
+                ladder=[tier],
+                emit=lambda *a, **k: None,
+            )
+            await service.start()
+            served = []
+
+            async def one(tenant, batch):
+                try:
+                    response = await service.submit(
+                        tenant, batch, deadline_s=30.0
+                    )
+                except (ServiceOverloaded, DeadlineExceeded):
+                    return
+                served.append((tenant, batch, response))
+
+            loop = asyncio.get_running_loop()
+            tasks = []
+            for round_idx in range(30):
+                for tenant in tenants:
+                    tasks.append(
+                        loop.create_task(
+                            one(tenant, batches[tenant][round_idx])
+                        )
+                    )
+                await asyncio.sleep(0.02)
+            await asyncio.gather(*tasks)
+            await service.stop()
+            return served
+
+        faults.configure("serve_worker_crash:0.3,serve_slow_reply:0.1", seed=7)
+        try:
+            served = run_virtual(scenario())
+        finally:
+            faults.reset()
+        assert served, "chaos shed every request; nothing to verify"
+
+        by_tenant = defaultdict(list)
+        for tenant, batch, response in served:
+            assert response.tier == tier.name
+            by_tenant[tenant].append((response.seq, batch, response))
+        for tenant, items in by_tenant.items():
+            items.sort(key=lambda item: item[0])
+            engine = tier.build(TenantBudget())
+            expected_seq = 0
+            for seq, batch, response in items:
+                expected_seq += len(batch)
+                # Sequence numbers are gapless: every applied batch
+                # produced a response, no batch applied twice.
+                assert seq == expected_seq, (
+                    f"{tenant}: response seq {seq} != replay seq "
+                    f"{expected_seq} -- a shed request mutated state or "
+                    "a retry double-applied"
+                )
+                golden, seen = [], set()
+                for pc, line in batch:
+                    for candidate in engine.observe(pc, line):
+                        if candidate.line not in seen:
+                            seen.add(candidate.line)
+                            golden.append(candidate.line)
+                assert golden == response.prefetch_lines, (
+                    f"{tenant} seq {seq}: served lines diverge from "
+                    "oracle replay"
+                )
+
+
+class TestCli:
+    def test_serve_command_self_check(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["serve", "--requests", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "self-check" in out
+        assert "ready: True" in out
+
+    def test_loadtest_command_stamps_manifest(self, capsys):
+        from repro.__main__ import main
+        from repro.obs.manifest import drain_run_log
+
+        drain_run_log()
+        assert main(["loadtest", "--quick", "--rps", "20"]) == 0
+        manifests = [m for m in drain_run_log() if m.kind == "serve"]
+        assert len(manifests) == 1
+        kpis = manifests[0].extra["kpis"]
+        assert {"p50_latency_ms", "p95_latency_ms", "throughput_rps",
+                "shed_rate_pct"} <= set(kpis)
+        assert "repro loadtest: ramp" in capsys.readouterr().out
