@@ -39,8 +39,15 @@ Subcommands:
                                            -- drive the service with a
                                               deterministic shaped load on
                                               the virtual-time loop; prints
-                                              p50/p95/throughput/shed KPIs
-                                              and stamps a run manifest
+                                              p50/p95/throughput/shed KPIs,
+                                              SLO burn-rate verdicts and
+                                              stamps a run manifest
+                                              (``--obs-out DIR`` also writes
+                                              spans.jsonl + metrics.prom)
+* ``python -m repro metrics``              -- Prometheus text exposition of
+                                              a deterministic quick loadtest
+                                              (``--check`` lints the output
+                                              with the exposition parser)
 * ``python -m repro bench fig05 --quick --repeats 2``
                                            -- timed run: KPIs + wall time +
                                               throughput + fingerprint,
@@ -255,6 +262,44 @@ def main(argv=None) -> int:
         "--json", action="store_true",
         help="print the full report as JSON instead of a summary",
     )
+    loadtest_parser.add_argument(
+        "--obs-out", metavar="DIR", default=None,
+        help="flush observability artifacts (spans.jsonl, metrics.prom, "
+        "manifests with SLO verdicts) to DIR after the run",
+    )
+    loadtest_parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="seeded fault plan for the run, e.g. "
+        "'serve_worker_crash:0.2,serve_slow_reply:0.1' "
+        "(also settable via REPRO_FAULTS)",
+    )
+    loadtest_parser.add_argument(
+        "--faults-seed", type=int, metavar="N", default=42,
+        help="fault plan seed (default: 42)",
+    )
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="Prometheus text exposition of the serving metrics surface "
+        "(runs a deterministic quick loadtest and prints its scrape)",
+    )
+    metrics_parser.add_argument(
+        "--shape", default="ramp", metavar="NAME",
+        help="load shape driving the scrape (default: ramp)",
+    )
+    metrics_parser.add_argument(
+        "--duration", type=float, metavar="S", default=5.0,
+        help="virtual seconds of load before scraping (default: 5)",
+    )
+    metrics_parser.add_argument(
+        "--seed", type=int, default=1234,
+        help="scenario seed (default: 1234)",
+    )
+    metrics_parser.add_argument(
+        "--check", action="store_true",
+        help="validate the output with the exposition parser instead of "
+        "trusting it (exit 2 on malformed output)",
+    )
 
     bench_parser = sub.add_parser(
         "bench", help="timed experiment run appended to its BENCH trajectory"
@@ -281,6 +326,16 @@ def main(argv=None) -> int:
     bench_parser.add_argument(
         "--json", action="store_true",
         help="print the new record as JSON instead of a summary",
+    )
+    bench_parser.add_argument(
+        "--trace-overhead", action="store_true",
+        help="also measure span-recording overhead (tracing on vs off "
+        "under the same obs session) and stamp it into the record",
+    )
+    bench_parser.add_argument(
+        "--overhead-tol", type=float, metavar="PCT", default=2.0,
+        help="fail (exit 1) when --trace-overhead exceeds this percent "
+        "(default: 2.0)",
     )
 
     compare_parser = sub.add_parser(
@@ -407,6 +462,9 @@ def main(argv=None) -> int:
 
     if args.command == "loadtest":
         return _loadtest_command(args)
+
+    if args.command == "metrics":
+        return _metrics_command(args)
 
     if args.command == "bench":
         return _bench_command(args)
@@ -618,6 +676,7 @@ def _loadtest_command(args) -> int:
     """``python -m repro loadtest``: shaped scenario -> KPIs + manifest."""
     import json
 
+    from repro import faults, obs
     from repro.obs.manifest import build_manifest
     from repro.serve import LoadgenConfig, ServiceConfig, run_loadtest
 
@@ -638,11 +697,24 @@ def _loadtest_command(args) -> int:
         n_workers=max(1, args.workers),
         queue_watermark=max(1, args.watermark),
     )
-    start = time.time()
-    report = run_loadtest(loadgen, service_config)
-    wall = time.time() - start
+    session = None
+    if args.obs_out:
+        session = obs.enable(out_dir=args.obs_out)
+    saved_plan = faults._PLAN
+    try:
+        if args.faults:
+            try:
+                faults.configure(args.faults, seed=args.faults_seed)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        start = time.time()
+        report = run_loadtest(loadgen, service_config)
+        wall = time.time() - start
+    finally:
+        faults._PLAN = saved_plan
     kpis = report.kpis()
-    build_manifest(
+    manifest = build_manifest(
         kind="serve",
         workloads=[f"loadgen:{loadgen.shape}"],
         prefetcher="serve-ladder",
@@ -662,8 +734,15 @@ def _loadtest_command(args) -> int:
         instructions=0.0,
         cycles=0.0,
         wall_time_s=wall,
-        extra={"kpis": kpis, "serving": report.summary()},
+        extra={"kpis": kpis, "serving": report.summary(), "slo": report.slo},
     )
+    if session is not None:
+        session.manifests.append(manifest)
+        paths = session.flush()
+        prom_path = Path(args.obs_out) / "metrics.prom"
+        prom_path.write_text(report.exposition)
+        paths["prom"] = prom_path
+        obs.disable()
     if args.json:
         print(json.dumps(report.summary(), indent=1, sort_keys=True, default=str))
     else:
@@ -682,6 +761,17 @@ def _loadtest_command(args) -> int:
             for tier, count in sorted(report.served_by_tier.items())
         )
         print(f"  served_by_tier         {tiers or '-'}")
+        for name, verdict in sorted(report.slo.items()):
+            burns = ", ".join(
+                f"{w['seconds']:.3g}s burn {w['burn']:.6g} {w['verdict']}"
+                for w in verdict["windows"]
+            )
+            print(f"  slo {name:<20} {verdict['verdict']:<7} ({burns})")
+    if session is not None:
+        print(
+            "observability artifacts: "
+            + ", ".join(str(p) for p in sorted(paths.values()))
+        )
     if report.errors_unhandled:
         print(
             f"error: {report.errors_unhandled} request(s) died with "
@@ -689,6 +779,47 @@ def _loadtest_command(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _metrics_command(args) -> int:
+    """``python -m repro metrics``: Prometheus scrape of the service.
+
+    Runs a short deterministic loadtest (virtual time, seeded) and prints
+    the text exposition the service's ``metrics()`` surface returned at
+    the end of it; ``--check`` lints the output with the strict parser.
+    """
+    from repro.serve import LoadgenConfig, ServiceConfig, run_loadtest
+
+    try:
+        loadgen = LoadgenConfig(
+            shape=args.shape,
+            duration_s=max(1.0, args.duration),
+            base_rps=120.0,
+            n_tenants=8,
+            deadline_s=0.5,
+            seed=args.seed,
+            trace_accesses=1024,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_loadtest(
+        loadgen, ServiceConfig(n_workers=4, queue_watermark=32)
+    )
+    text = report.exposition
+    if args.check:
+        from repro.obs import exposition
+
+        try:
+            families = exposition.parse_text(text)
+        except exposition.ExpositionError as exc:
+            print(f"error: malformed exposition: {exc}", file=sys.stderr)
+            return 2
+        print(text, end="")
+        print(f"# exposition ok: {len(families)} families", file=sys.stderr)
+        return 0
+    print(text, end="")
     return 0
 
 
@@ -708,6 +839,12 @@ def _bench_command(args) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    overhead = None
+    if args.trace_overhead:
+        overhead = bench.tracing_overhead_pct(
+            args.experiment, quick=args.quick
+        )
+        record["tracing_overhead_pct"] = overhead
     path = Path(args.out) if args.out else bench.default_trajectory_path(
         args.experiment
     )
@@ -739,8 +876,20 @@ def _bench_command(args) -> int:
             )
         for name, value in sorted(kpis.items()):
             print(f"  {name:<40} {value:.6g}")
+        if overhead is not None:
+            print(
+                f"tracing overhead: {overhead:+.3f}% "
+                f"(tolerance {args.overhead_tol:.3g}%)"
+            )
         if not args.no_append:
             print(f"appended record #{len(bench.load_trajectory(path))} to {path}")
+    if overhead is not None and overhead > args.overhead_tol:
+        print(
+            f"error: tracing overhead {overhead:.3f}% exceeds "
+            f"tolerance {args.overhead_tol:.3g}%",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -39,7 +39,10 @@ SCENARIOS = [
     ("chaos", "ramp", 1.0, "serve_worker_crash:0.2,serve_slow_reply:0.1"),
 ]
 
-#: KPI columns, in table order after the scenario name.
+#: KPI columns, in table order after the scenario name.  The ``slo_*``
+#: columns come from the loadtest's burn-rate verdicts
+#: (:mod:`repro.obs.slo`): breach/warn counts over both paired windows
+#: plus the worst observed burn rate.
 KPI_COLUMNS = [
     "p50_latency_ms",
     "p95_latency_ms",
@@ -48,6 +51,9 @@ KPI_COLUMNS = [
     "served_pct",
     "degrade_transitions",
     "breaker_trips",
+    "slo_breaches",
+    "slo_warnings",
+    "slo_worst_burn",
 ]
 
 

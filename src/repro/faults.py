@@ -190,32 +190,23 @@ class FaultPlan:
         return draw < spec.rate
 
 
-#: Sites already warned about via the ``on_unknown="warn"`` path, so a
-#: typo'd ``REPRO_FAULTS`` clause warns once, not once per fault hook.
-_WARNED_SITES: set = set()
-
-
 def _warn_unknown_site(site: str) -> None:
-    if site in _WARNED_SITES:
-        return
-    _WARNED_SITES.add(site)
-    import sys
+    """Warn once per typo'd ``REPRO_FAULTS`` site, never once per hook.
 
-    print(
-        f"warning: REPRO_FAULTS names unknown fault site {site!r} "
+    Deduplication and emission go through the shared
+    :func:`repro.config.warn_once` discipline; :func:`reset` forgets
+    these keys so tests see the warning again.
+    """
+    from repro import config  # lazy: faults is imported very early
+
+    config.warn_once(
+        ("faults.unknown_site", site),
+        f"REPRO_FAULTS names unknown fault site {site!r} "
         f"(ignored); registered sites: {', '.join(SITES)}",
-        file=sys.stderr,
+        category="faults.unknown_site",
+        site=site,
+        known=list(SITES),
     )
-    try:  # best effort: obs may not be importable this early
-        from repro.obs import get_session
-
-        session = get_session()
-        if session is not None:
-            session.events.emit(
-                "faults.unknown_site", "warn", site=site, known=list(SITES)
-            )
-    except Exception:
-        pass
 
 
 #: The process-wide plan; ``None`` (the default) disarms every hook.
@@ -238,7 +229,9 @@ def reset() -> None:
     global _PLAN
     _PLAN = None
     FIRED.clear()
-    _WARNED_SITES.clear()
+    from repro import config  # lazy: faults is imported very early
+
+    config.forget_warnings("faults.unknown_site")
 
 
 def plan_from_env() -> Optional[FaultPlan]:

@@ -13,6 +13,13 @@ taxing the default path:
 * :mod:`repro.obs.events` -- a ring-buffered structured trace-event
   stream (partition re-decisions, Hawkeye training flips, metadata
   evictions) with severity/category filtering;
+* :mod:`repro.obs.tracing` -- causal spans (trace/span/parent ids,
+  derived deterministically from seeded tokens) with JSONL export, the
+  per-request / per-cell waterfall source;
+* :mod:`repro.obs.slo` -- declarative service-level objectives with
+  multi-window burn-rate verdicts;
+* :mod:`repro.obs.exposition` -- Prometheus text exposition of the
+  registry (``repro metrics``, ``PrefetchService.metrics()``);
 * :mod:`repro.obs.manifest` -- run manifests (config, workload, seed,
   trace length, wall time, package version, metric dump) attached to
   every :class:`~repro.sim.stats.SimulationResult`;
@@ -52,6 +59,7 @@ from repro.obs.manifest import RunManifest
 from repro.obs.profiling import PhaseTimer
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sampler import EpochSampler
+from repro.obs.tracing import Tracer
 
 __all__ = [
     "ObsSession",
@@ -60,6 +68,27 @@ __all__ = [
     "disable",
     "get_session",
 ]
+
+
+class _StackedContext:
+    """Enter/exit several context managers as one (profiler phase + span)."""
+
+    __slots__ = ("_cms",)
+
+    def __init__(self, *cms):
+        self._cms = cms
+
+    def __enter__(self):
+        for cm in self._cms:
+            cm.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        suppressed = False
+        for cm in reversed(self._cms):
+            if cm.__exit__(exc_type, exc, tb):
+                suppressed = True
+        return suppressed
 
 
 class RunObserver:
@@ -124,6 +153,8 @@ class ObsSession:
         categories: Optional[Sequence[str]] = None,
         profile: bool = False,
         capacity: Optional[int] = None,
+        trace: Optional[bool] = None,
+        trace_capacity: Optional[int] = None,
     ):
         if capacity is not None and event_capacity is not None:
             raise TypeError("pass capacity or event_capacity, not both")
@@ -136,6 +167,9 @@ class ObsSession:
             min_severity=min_severity,
             categories=categories,
         )
+        # ``trace=None`` defers to REPRO_TRACE (enabled by default):
+        # tracing costs nothing until a component actually opens a trace.
+        self.tracer = Tracer(capacity=trace_capacity, enabled=trace)
         self.profiler: Optional[PhaseTimer] = PhaseTimer() if profile else None
         self.manifests: List[RunManifest] = []
         self.out_dir = Path(out_dir) if out_dir is not None else None
@@ -150,7 +184,17 @@ class ObsSession:
         return RunObserver(self, run_id)
 
     def phase(self, name: str):
-        """Scoped wall-time attribution (no-op when profiling is off)."""
+        """Scoped wall-time attribution (no-op when profiling is off).
+
+        When tracing is on *and* a span is current (e.g. a sweep cell's
+        trace), the phase also records a ``phase.<name>`` child span, so
+        waterfalls show where a cell's wall time went.
+        """
+        if self.tracer.enabled and self.tracer.current() is not None:
+            span_cm = self.tracer.span(f"phase.{name}")
+            if self.profiler is None:
+                return span_cm
+            return _StackedContext(self.profiler.phase(name), span_cm)
         if self.profiler is None:
             return nullcontext()
         return self.profiler.phase(name)
@@ -175,6 +219,8 @@ class ObsSession:
         metrics_path = target / "metrics.json"
         metrics_path.write_text(self.registry.to_json() + "\n")
         paths["metrics"] = metrics_path
+        if len(self.tracer):
+            paths["spans"] = self.tracer.write_jsonl(target / "spans.jsonl")
         if self.profiler is not None:
             profile_path = target / "profile.txt"
             profile_path.write_text(self.profiler.table() + "\n")

@@ -246,6 +246,61 @@ def bench_experiment(
     return record
 
 
+def tracing_overhead_pct(
+    name: str, quick: bool = False, repeats: int = 2
+) -> float:
+    """Measured wall-time overhead of span recording, in percent.
+
+    Times the experiment under a full observability session with tracing
+    **off**, then again with tracing **on** (min wall over ``repeats``
+    each, after one untimed warmup), so the delta isolates the span
+    layer from the cost of observability as a whole.  Negative values
+    (noise on a machine where tracing is cheaper than the jitter) are
+    reported as measured; the CLI gate only cares about the upper bound.
+
+    The ambient global session, if any, is restored on exit.
+    """
+    from repro import obs
+    from repro.experiments import common
+    from repro.experiments.registry import EXPERIMENTS
+
+    if name not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; choose from: {known}")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    module = EXPERIMENTS[name]
+    previous = obs.get_session()
+
+    def timed(trace_enabled: bool) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            obs.enable(trace=trace_enabled)
+            try:
+                common.clear_caches()
+                start = time.perf_counter()
+                module.run(quick=quick)
+                best = min(best, time.perf_counter() - start)
+            finally:
+                obs.disable()
+        return best
+
+    try:
+        obs.enable(trace=False)
+        try:
+            common.clear_caches()
+            module.run(quick=quick)  # warmup: imports, trace generation
+        finally:
+            obs.disable()
+        off = timed(False)
+        on = timed(True)
+    finally:
+        obs._SESSION = previous
+    if off <= 0:
+        return 0.0
+    return round(100.0 * (on - off) / off, 3)
+
+
 # -- trajectory files --------------------------------------------------------
 
 

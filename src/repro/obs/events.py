@@ -32,10 +32,10 @@ def capacity_from_env(default: int = DEFAULT_CAPACITY) -> int:
 
     Invalid, zero or negative values warn once (stderr plus a
     ``config.invalid_env`` trace event) and fall back to ``default`` --
-    the same discipline :mod:`repro.resilience` applies to
-    ``REPRO_JOBS``/``REPRO_RETRIES``.
+    the shared :func:`repro.config.positive_env` discipline also applied
+    to ``REPRO_JOBS``/``REPRO_RETRIES``/``REPRO_TRACE``.
     """
-    from repro.resilience import positive_env  # lazy: keep obs imports light
+    from repro.config import positive_env  # lazy: keep obs imports light
 
     value = positive_env("REPRO_OBS_EVENTS", int, minimum=1)
     return int(value) if value is not None else default

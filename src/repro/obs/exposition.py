@@ -1,0 +1,275 @@
+"""Prometheus text exposition (v0.0.4) for the metrics registry.
+
+Renders a :class:`~repro.obs.registry.MetricsRegistry` -- plus ad-hoc
+counter/gauge dicts such as a :class:`~repro.serve.service.PrefetchService`'s
+health snapshot -- into the plain-text scrape format::
+
+    # HELP repro_serve_served_total ...
+    # TYPE repro_serve_served_total counter
+    repro_serve_served_total 8123
+
+Mapping rules:
+
+* dotted registry names become underscore-joined metric names under the
+  ``repro_`` prefix (``serve.queue_depth`` -> ``repro_serve_queue_depth``);
+* counters get the conventional ``_total`` suffix;
+* log2 histograms render as cumulative ``_bucket{le="..."}`` series
+  (upper bounds are the registry's ``2**i - 1`` geometry) plus ``_sum``
+  and ``_count``, with the mandatory ``le="+Inf"`` bucket;
+* string-valued states render as a labeled info-style gauge
+  (``repro_serve_health{status="degraded"} 1``).
+
+:func:`parse_text` is the matching validating parser -- the CI lint that
+keeps ``repro metrics`` output actually scrapeable: it enforces name
+syntax, TYPE-before-samples, no duplicate series, monotonic cumulative
+buckets and ``_count`` == the ``+Inf`` bucket.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["ExpositionError", "parse_text", "render"]
+
+#: Prometheus metric-name syntax (we never emit a colon).
+_METRIC_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_LABEL_RE = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\{(?P<labels>[^}]*)\}$')
+
+
+class ExpositionError(ValueError):
+    """The text is not valid Prometheus exposition format."""
+
+
+def _mangle(dotted: str, prefix: str) -> str:
+    return f"{prefix}_{dotted.replace('.', '_')}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _counter_lines(name: str, value: float, help_text: str) -> List[str]:
+    return [
+        f"# HELP {name}_total {help_text}",
+        f"# TYPE {name}_total counter",
+        f"{name}_total {_format_value(value)}",
+    ]
+
+
+def _gauge_lines(name: str, value: float, help_text: str) -> List[str]:
+    return [
+        f"# HELP {name} {help_text}",
+        f"# TYPE {name} gauge",
+        f"{name} {_format_value(value)}",
+    ]
+
+
+def _histogram_lines(name: str, hist: Histogram, help_text: str) -> List[str]:
+    lines = [
+        f"# HELP {name} {help_text}",
+        f"# TYPE {name} histogram",
+    ]
+    cumulative = 0
+    for i, count in enumerate(hist.counts):
+        cumulative += count
+        lines.append(
+            f'{name}_bucket{{le="{hist.bucket_upper_bound(i)}"}} {cumulative}'
+        )
+    lines.append(f'{name}_bucket{{le="+Inf"}} {hist.total}')
+    lines.append(f"{name}_sum {_format_value(hist.sum)}")
+    lines.append(f"{name}_count {hist.total}")
+    return lines
+
+
+def render(
+    registry: Optional[MetricsRegistry] = None,
+    counters: Optional[Dict[str, float]] = None,
+    gauges: Optional[Dict[str, float]] = None,
+    states: Optional[Dict[str, str]] = None,
+    prefix: str = "repro",
+) -> str:
+    """The registry (and extras) as Prometheus text exposition.
+
+    ``counters``/``gauges`` take dotted names like the registry;
+    ``states`` maps a dotted name to a string rendered as a labeled
+    ``{state="..."} 1`` gauge.  Output is sorted by metric name, so
+    identical inputs render byte-identically.
+    """
+    blocks: List[Tuple[str, List[str]]] = []
+    if registry is not None:
+        for dotted in registry.names():
+            metric = registry.get(dotted)
+            name = _mangle(dotted, prefix)
+            help_text = f"repro metric {dotted}"
+            if isinstance(metric, Counter):
+                blocks.append((name, _counter_lines(name, metric.value, help_text)))
+            elif isinstance(metric, Gauge):
+                blocks.append((name, _gauge_lines(name, metric.value, help_text)))
+            elif isinstance(metric, Histogram):
+                blocks.append((name, _histogram_lines(name, metric, help_text)))
+    for dotted, value in (counters or {}).items():
+        name = _mangle(dotted, prefix)
+        blocks.append((name, _counter_lines(name, value, f"repro counter {dotted}")))
+    for dotted, value in (gauges or {}).items():
+        name = _mangle(dotted, prefix)
+        blocks.append((name, _gauge_lines(name, value, f"repro gauge {dotted}")))
+    for dotted, state in (states or {}).items():
+        name = _mangle(dotted, prefix)
+        blocks.append(
+            (
+                name,
+                [
+                    f"# HELP {name} repro state {dotted}",
+                    f"# TYPE {name} gauge",
+                    f'{name}{{state="{_escape_label(str(state))}"}} 1',
+                ],
+            )
+        )
+    lines: List[str] = []
+    for _, block in sorted(blocks, key=lambda item: item[0]):
+        lines.extend(block)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- the validating parser (CI lint) -----------------------------------------
+
+
+def _parse_sample(line: str) -> Tuple[str, Dict[str, str], float]:
+    parts = line.rsplit(" ", 1)
+    if len(parts) != 2:
+        raise ExpositionError(f"malformed sample line: {line!r}")
+    series, raw_value = parts
+    labels: Dict[str, str] = {}
+    match = _LABEL_RE.match(series)
+    if match:
+        name = match.group("name")
+        body = match.group("labels")
+        if body:
+            for pair in re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"', body):
+                labels[pair[0]] = pair[1]
+            if not re.fullmatch(
+                r'\s*(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"\s*,?\s*)*', body
+            ):
+                raise ExpositionError(f"malformed labels in: {line!r}")
+    else:
+        name = series
+    if not _METRIC_RE.match(name):
+        raise ExpositionError(f"invalid metric name {name!r}")
+    try:
+        value = float(raw_value)
+    except ValueError as exc:
+        raise ExpositionError(f"invalid sample value in {line!r}") from exc
+    return name, labels, value
+
+
+def _family_of(name: str, types: Dict[str, str]) -> Optional[str]:
+    """The declared family a sample belongs to, honoring suffixes."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def parse_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse (and validate) exposition text; family name -> details.
+
+    Raises :class:`ExpositionError` on any violation a Prometheus
+    scraper would reject (plus the stricter conventions ``render``
+    guarantees: every sample is preceded by its TYPE declaration, no
+    duplicate series, cumulative histogram buckets are monotonic and
+    consistent with ``_count``).
+    """
+    types: Dict[str, str] = {}
+    families: Dict[str, Dict[str, object]] = {}
+    seen_series: set = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                raise ExpositionError(f"line {lineno}: malformed HELP: {line!r}")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ExpositionError(f"line {lineno}: malformed TYPE: {line!r}")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ExpositionError(f"line {lineno}: unknown type {kind!r}")
+            family = name[:-6] if kind == "counter" and name.endswith("_total") else name
+            if family in types:
+                raise ExpositionError(f"line {lineno}: duplicate TYPE for {family!r}")
+            types[family] = kind
+            families[family] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        name, labels, value = _parse_sample(line)
+        family = _family_of(name, types)
+        if family is None:
+            raise ExpositionError(
+                f"line {lineno}: sample {name!r} has no preceding TYPE"
+            )
+        series_key = (name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            raise ExpositionError(f"line {lineno}: duplicate series {series_key!r}")
+        seen_series.add(series_key)
+        families[family]["samples"].append(
+            {"name": name, "labels": labels, "value": value}
+        )
+    for family, info in families.items():
+        if not info["samples"]:
+            raise ExpositionError(f"family {family!r} declared but has no samples")
+        if info["type"] == "histogram":
+            _validate_histogram(family, info["samples"])
+    return families
+
+
+def _validate_histogram(family: str, samples: List[Dict[str, object]]) -> None:
+    buckets = [s for s in samples if s["name"] == f"{family}_bucket"]
+    counts = [s for s in samples if s["name"] == f"{family}_count"]
+    if not buckets or not counts:
+        raise ExpositionError(f"histogram {family!r} missing buckets or _count")
+    bounds: List[Tuple[float, float]] = []
+    inf_value: Optional[float] = None
+    for sample in buckets:
+        le = sample["labels"].get("le")
+        if le is None:
+            raise ExpositionError(f"histogram {family!r} bucket without le label")
+        bound = float("inf") if le == "+Inf" else float(le)
+        bounds.append((bound, sample["value"]))
+        if bound == float("inf"):
+            inf_value = sample["value"]
+    if inf_value is None:
+        raise ExpositionError(f"histogram {family!r} missing le=\"+Inf\" bucket")
+    bounds.sort(key=lambda item: item[0])
+    previous = -1.0
+    for _, cumulative in bounds:
+        if cumulative < previous:
+            raise ExpositionError(
+                f"histogram {family!r} buckets are not cumulative"
+            )
+        previous = cumulative
+    if counts[0]["value"] != inf_value:
+        raise ExpositionError(
+            f"histogram {family!r}: _count {counts[0]['value']} != "
+            f"+Inf bucket {inf_value}"
+        )

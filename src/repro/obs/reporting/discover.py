@@ -75,6 +75,7 @@ class RunDir:
     manifests: List[Dict[str, object]] = field(default_factory=list)
     epochs: List[Dict[str, object]] = field(default_factory=list)
     events: List[Dict[str, object]] = field(default_factory=list)
+    spans: List[Dict[str, object]] = field(default_factory=list)
     metrics: Dict[str, object] = field(default_factory=dict)
     profile: Optional[str] = None
     problems: List[str] = field(default_factory=list)
@@ -152,6 +153,13 @@ def load_run_dir(path) -> RunDir:
     events = path / "events.jsonl"
     if events.exists():
         run.events, problems = read_jsonl_tolerant(events)
+        run.problems.extend(problems)
+    # spans.jsonl is optional (only written when tracing recorded spans)
+    # and deliberately not a RUN_DIR_MARKER: its presence alone does not
+    # make a directory a run directory.
+    spans = path / "spans.jsonl"
+    if spans.exists():
+        run.spans, problems = read_jsonl_tolerant(spans)
         run.problems.extend(problems)
     metrics = path / "metrics.json"
     if metrics.exists():

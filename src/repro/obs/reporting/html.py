@@ -26,7 +26,7 @@ from html import escape
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.obs.reporting import figures, page
+from repro.obs.reporting import figures, page, waterfall
 from repro.obs.reporting.dashboard import dashboard_data
 from repro.obs.reporting.discover import ArtifactTree, discover
 from repro.obs.reporting.frames import Frame, epochs_frame, events_frame
@@ -147,6 +147,81 @@ def _energy_rows(manifests: Sequence[Dict[str, object]]) -> List[Dict[str, objec
             }
         )
     return rows
+
+
+def _slo_rows(
+    manifests: Sequence[Dict[str, object]],
+    summaries: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Every SLO verdict discoverable in the tree, one row each.
+
+    Sources: loadtest/serve manifests stamping ``extra.slo`` (a dict of
+    per-objective reports from :mod:`repro.obs.slo`) and ``sweep.summary``
+    events carrying their cell-failure verdict in ``slo``.
+    """
+    rows: List[Dict[str, object]] = []
+
+    def add(source: str, report: object) -> None:
+        if not isinstance(report, dict) or "verdict" not in report:
+            return
+        burn = report.get("burn")
+        windows = report.get("windows")
+        if burn is None and isinstance(windows, list):
+            burn = max(
+                (float(w.get("burn", 0.0)) for w in windows if isinstance(w, dict)),
+                default=0.0,
+            )
+        rows.append(
+            {
+                "source": source,
+                "objective": report.get("name"),
+                "target": report.get("objective"),
+                "total": report.get("total"),
+                "bad": report.get("bad"),
+                "worst_burn": burn,
+                "verdict": report.get("verdict"),
+            }
+        )
+
+    for manifest in manifests:
+        extra = manifest.get("extra") or {}
+        slo = extra.get("slo") if isinstance(extra, dict) else None
+        if isinstance(slo, dict):
+            for name in sorted(slo):
+                add(f"manifest:{_manifest_workload(manifest)}", slo[name])
+    for summary in summaries:
+        add(f"sweep:{summary.get('run_dir')}", summary.get("slo"))
+    return rows
+
+
+def _traces_section(
+    tree: ArtifactTree,
+    slo_rows: Sequence[Dict[str, object]],
+) -> Tuple[str, Dict[str, object]]:
+    """Waterfall + exemplars + SLO verdict table: ``(html, summary)``."""
+    spans = [span for run in tree.runs for span in run.spans]
+    chunks, summary = waterfall.waterfall_section(spans)
+    parts = [chunks]
+    if slo_rows:
+        headers = ["source", "objective", "target", "total", "bad",
+                   "worst_burn", "verdict"]
+        parts.append(
+            "<h3>SLO burn-rate verdicts</h3>"
+            + page.html_table(
+                headers,
+                [[r.get(h) for h in headers] for r in slo_rows],
+                row_classes=[
+                    "regressed" if r.get("verdict") == "breach" else ""
+                    for r in slo_rows
+                ],
+            )
+        )
+    else:
+        parts.append(
+            "<p class='meta'>no SLO verdicts discovered (stamped by "
+            "loadtests and sweep summaries)</p>"
+        )
+    return "\n".join(parts), summary
 
 
 def _sweep_summaries(events: Frame) -> List[Dict[str, object]]:
@@ -386,6 +461,8 @@ def build_report(tree: ArtifactTree, title: Optional[str] = None) -> Tuple[str, 
 
     fingerprint_html, fingerprints = _fingerprint_section(manifests)
     kpi_html, kpis_by_run = _kpi_section(manifests)
+    slo_rows = _slo_rows(manifests, summaries)
+    traces_html, trace_summary = _traces_section(tree, slo_rows)
 
     body_chunks = [
         f'<p class="meta">root: <code>{escape(str(tree.root))}</code> &middot; '
@@ -420,6 +497,7 @@ def build_report(tree: ArtifactTree, title: Optional[str] = None) -> Tuple[str, 
             "section unavailable for these runs</p>",
         ),
         page.section("Epoch time-series", _epoch_section(epochs)),
+        page.section("Traces & SLO", traces_html),
         page.section(
             "Resilience", _resilience_section(events, tree, summaries)
         ),
@@ -462,11 +540,14 @@ def build_report(tree: ArtifactTree, title: Optional[str] = None) -> Tuple[str, 
                 "manifests": len(run.manifests),
                 "epochs": len(run.epochs),
                 "events": len(run.events),
+                "spans": len(run.spans),
                 "missing": run.missing(),
                 "problems": list(run.problems),
             }
             for run in tree.runs
         ],
+        "traces": trace_summary,
+        "slo": slo_rows,
         "figures": sorted(figure_map),
         "kpis": kpis_by_run,
         "fingerprints": fingerprints,

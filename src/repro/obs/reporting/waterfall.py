@@ -1,0 +1,263 @@
+"""Trace-waterfall rendering: span trees as inline SVG.
+
+Consumes the span records :class:`repro.obs.tracing.Tracer` exports
+(``spans.jsonl``) and renders one trace's tree as a horizontal-bar
+waterfall -- each span a bar offset/scaled by its start/duration
+relative to the root -- in the same dependency-free inline-SVG style as
+:mod:`repro.obs.reporting.figures`.  The report shows the waterfall of
+the **p95-slowest** trace (nearest-rank over root durations): the
+exemplar that explains tail latency, not the unlucky max.
+
+Everything is deterministic for identical span sets: traces group in
+first-seen order, children sort by ``(start, span_id)``, and the p95
+selection is nearest-rank (no interpolation).
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.reporting import figures, page
+
+__all__ = [
+    "group_traces",
+    "p95_trace_id",
+    "slowest_exemplars",
+    "trace_duration",
+    "waterfall_svg",
+    "waterfall_section",
+]
+
+#: Bars drawn per waterfall before clipping (deep trees stay legible).
+MAX_WATERFALL_ROWS = 64
+
+#: Exemplar-table rows (slowest first).
+MAX_EXEMPLARS = 10
+
+_FONT = 'font-family="system-ui, sans-serif"'
+
+#: Bar fill per span status.
+_STATUS_FILL = {"ok": figures.PALETTE[0], "served": figures.PALETTE[2]}
+_ERROR_FILL = figures.HIGHLIGHT
+
+
+def _fill_for(record: Dict[str, object], depth: int) -> str:
+    status = str(record.get("status", "ok"))
+    if status in ("error", "fault"):
+        return _ERROR_FILL
+    return figures.color(depth)
+
+
+def group_traces(
+    spans: Sequence[Dict[str, object]]
+) -> Dict[str, List[Dict[str, object]]]:
+    """Span records grouped by trace id, first-seen order, deduplicated.
+
+    A retried cell re-opens its root span with the same derived ids;
+    only the first record of each ``(span_id, start)`` pair is kept so
+    waterfalls do not draw the same bar twice.
+    """
+    out: Dict[str, List[Dict[str, object]]] = {}
+    seen = set()
+    for record in spans:
+        trace_id = str(record.get("trace_id", ""))
+        if not trace_id:
+            continue
+        key = (trace_id, record.get("span_id"), record.get("start"))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.setdefault(trace_id, []).append(record)
+    return out
+
+
+def _root_of(records: Sequence[Dict[str, object]]) -> Optional[Dict[str, object]]:
+    ids = {r.get("span_id") for r in records}
+    for record in records:
+        parent = record.get("parent_id") or ""
+        if not parent or parent not in ids:
+            return record
+    return None
+
+
+def trace_duration(records: Sequence[Dict[str, object]]) -> float:
+    """A trace's wall extent: its root's duration, else the span hull."""
+    root = _root_of(records)
+    if root is not None and root.get("end") is not None:
+        return float(root["end"]) - float(root["start"])
+    starts = [float(r["start"]) for r in records if r.get("start") is not None]
+    ends = [float(r["end"]) for r in records if r.get("end") is not None]
+    if not starts or not ends:
+        return 0.0
+    return max(ends) - min(starts)
+
+
+def p95_trace_id(
+    traces: Dict[str, List[Dict[str, object]]]
+) -> Optional[str]:
+    """The nearest-rank p95-slowest trace id (``None`` when empty)."""
+    if not traces:
+        return None
+    ranked = sorted(
+        traces, key=lambda tid: (trace_duration(traces[tid]), tid)
+    )
+    return ranked[int(round(0.95 * (len(ranked) - 1)))]
+
+
+def slowest_exemplars(
+    traces: Dict[str, List[Dict[str, object]]], limit: int = MAX_EXEMPLARS
+) -> List[Dict[str, object]]:
+    """The slowest traces, one summary row each, slowest first."""
+    rows = []
+    for trace_id, records in traces.items():
+        root = _root_of(records)
+        rows.append(
+            {
+                "trace_id": trace_id,
+                "root": str(root.get("name", "?")) if root else "?",
+                "status": str(root.get("status", "?")) if root else "?",
+                "duration_s": round(trace_duration(records), 6),
+                "spans": len(records),
+                "token": (root.get("attrs") or {}).get("token") if root else None,
+            }
+        )
+    rows.sort(key=lambda r: (-r["duration_s"], r["trace_id"]))
+    return rows[:limit]
+
+
+def _tree_rows(
+    records: Sequence[Dict[str, object]],
+) -> List[Tuple[int, Dict[str, object]]]:
+    """Depth-first ``(depth, record)`` rows, children by (start, span_id)."""
+    ids = {r.get("span_id") for r in records}
+    children: Dict[str, List[Dict[str, object]]] = {}
+    roots: List[Dict[str, object]] = []
+    for record in records:
+        parent = str(record.get("parent_id") or "")
+        if parent and parent in ids:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+
+    def order(rs: List[Dict[str, object]]) -> List[Dict[str, object]]:
+        return sorted(
+            rs, key=lambda r: (float(r.get("start") or 0.0), str(r.get("span_id")))
+        )
+
+    rows: List[Tuple[int, Dict[str, object]]] = []
+
+    def visit(record: Dict[str, object], depth: int) -> None:
+        rows.append((depth, record))
+        for child in order(children.get(str(record.get("span_id")), [])):
+            visit(child, depth + 1)
+
+    for root in order(roots):
+        visit(root, 0)
+    return rows
+
+
+def waterfall_svg(
+    records: Sequence[Dict[str, object]],
+    title: str,
+    width: int = 680,
+) -> str:
+    """One trace's span tree as a horizontal-bar waterfall SVG."""
+    rows = _tree_rows(records)
+    if not rows:
+        return figures.empty_figure(title, "no spans")
+    clipped = len(rows) > MAX_WATERFALL_ROWS
+    rows = rows[:MAX_WATERFALL_ROWS]
+    t0 = min(float(r.get("start") or 0.0) for _, r in rows)
+    t1 = max(
+        float(r["end"]) for _, r in rows if r.get("end") is not None
+    ) if any(r.get("end") is not None for _, r in rows) else t0
+    span_s = max(t1 - t0, 1e-12)
+
+    row_h, label_w = 18.0, 250.0
+    margin_top, margin_bottom = 30.0, 20.0
+    plot_w = width - label_w - 16.0
+    height = int(margin_top + row_h * len(rows) + margin_bottom)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img">',
+        f'<text x="8" y="18" font-size="13" font-weight="bold" {_FONT}>'
+        f"{escape(title)}</text>",
+    ]
+    for i, (depth, record) in enumerate(rows):
+        y = margin_top + i * row_h
+        name = str(record.get("name", "?"))
+        status = str(record.get("status", "ok"))
+        start = float(record.get("start") or t0)
+        end = record.get("end")
+        duration = (float(end) - start) if end is not None else 0.0
+        x = label_w + plot_w * (start - t0) / span_s
+        bar_w = max(plot_w * duration / span_s, 1.5)
+        label = ("  " * depth) + name
+        suffix = f" [{status}]" if status not in ("ok", "served") else ""
+        parts.append(
+            f'<text x="{8 + 10 * depth:.1f}" y="{y + 12:.1f}" font-size="10" '
+            f"{_FONT}>{escape(name + suffix)}</text>"
+            f'<rect x="{x:.1f}" y="{y + 3:.1f}" width="{bar_w:.1f}" '
+            f'height="{row_h - 7:.1f}" fill="{_fill_for(record, depth)}">'
+            f"<title>{escape(label)}: {duration * 1e3:.3f} ms "
+            f"[{escape(status)}]</title></rect>"
+        )
+    parts.append(
+        f'<text x="{label_w:.1f}" y="{height - 6:.1f}" font-size="10" '
+        f'{_FONT} fill="#777">0 .. {span_s * 1e3:.3f} ms'
+        + (f" (first {MAX_WATERFALL_ROWS} spans)" if clipped else "")
+        + "</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def waterfall_section(
+    spans: Sequence[Dict[str, object]],
+) -> Tuple[str, Dict[str, object]]:
+    """The report's trace section: ``(html, machine-readable summary)``.
+
+    Renders the p95-slowest trace's waterfall plus a slowest-exemplar
+    table; returns the facts (trace/span counts, the chosen exemplar)
+    for the report manifest alongside the HTML.
+    """
+    traces = group_traces(spans)
+    summary: Dict[str, object] = {
+        "spans": sum(len(v) for v in traces.values()),
+        "traces": len(traces),
+    }
+    if not traces:
+        return (
+            "<p class='meta'>no spans discovered (tracing off, or nothing "
+            "opened a trace); waterfalls unavailable</p>",
+            summary,
+        )
+    exemplar = p95_trace_id(traces)
+    summary["p95_trace_id"] = exemplar
+    summary["p95_duration_s"] = round(trace_duration(traces[exemplar]), 6)
+    exemplars = slowest_exemplars(traces)
+    summary["slowest"] = exemplars
+    chunks = [
+        page.figure_html(
+            waterfall_svg(
+                traces[exemplar],
+                f"p95-slowest trace {exemplar} "
+                f"({summary['p95_duration_s'] * 1e3:.3f} ms, "
+                f"{len(traces[exemplar])} spans)",
+            )
+        ),
+        "<h3>Slowest traces</h3>",
+        page.html_table(
+            ["trace", "root span", "status", "duration ms", "spans"],
+            [
+                [
+                    e["trace_id"], e["root"], e["status"],
+                    round(e["duration_s"] * 1e3, 3), e["spans"],
+                ]
+                for e in exemplars
+            ],
+        ),
+    ]
+    return "\n".join(chunks), summary

@@ -1,0 +1,246 @@
+"""Declarative service-level objectives with multi-window burn rates.
+
+An :class:`Objective` names a good/bad classification of events (served
+requests under the latency target, requests not shed, sweep cells that
+succeeded) and a target good-fraction (``0.95`` = "95% of requests
+...").  The **error budget** is ``1 - objective``; the **burn rate**
+over a window is how fast that budget is being consumed::
+
+    burn = (bad_events / total_events in window) / (1 - objective)
+
+``burn == 1`` exactly exhausts the budget if sustained for the SLO
+period; SRE practice alerts on *pairs* of windows -- a short window at a
+high burn (page: you are torching the budget right now) and a long
+window at a low burn (ticket: a slow leak) -- which is what
+:class:`Window` encodes as ``(seconds, warn, breach)`` thresholds.
+
+:class:`SLOTracker` records ``(t, good)`` observations on whatever clock
+the caller uses.  Loadtests feed it virtual time, so the burn rates,
+window tallies and verdicts in a :class:`~repro.serve.loadgen.LoadtestReport`
+are bit-deterministic and are gated in CI like any KPI.  Everything is
+rounded to 6 decimal places at the report boundary so two identical runs
+produce byte-identical verdict dicts.
+
+Count-based objectives with no useful time axis (a sweep's cell failure
+rate) skip the tracker and use :func:`evaluate_counts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import config
+
+__all__ = [
+    "Objective",
+    "SLOTracker",
+    "Window",
+    "default_serve_slos",
+    "evaluate_counts",
+    "sweep_cell_objective",
+    "worst_verdict",
+]
+
+#: Verdicts, worst last; a report's overall verdict is the max.
+VERDICTS = ("ok", "warn", "breach")
+_VERDICT_RANK = {v: i for i, v in enumerate(VERDICTS)}
+
+
+def worst_verdict(verdicts) -> str:
+    """The most severe of an iterable of verdict strings."""
+    worst = "ok"
+    for verdict in verdicts:
+        if _VERDICT_RANK[verdict] > _VERDICT_RANK[worst]:
+            worst = verdict
+    return worst
+
+
+@dataclass(frozen=True)
+class Window:
+    """One burn-rate evaluation window with its alert thresholds."""
+
+    seconds: float
+    #: Burn rate at or above which this window reports ``warn``.
+    warn: float = 1.0
+    #: Burn rate at or above which this window reports ``breach``.
+    breach: float = 2.0
+
+    def verdict(self, burn: float) -> str:
+        if burn >= self.breach:
+            return "breach"
+        if burn >= self.warn:
+            return "warn"
+        return "ok"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative SLO: what counts as good, and how good, how fast."""
+
+    name: str
+    description: str
+    #: Target good-fraction in [0, 1); the error budget is ``1 - objective``.
+    objective: float
+    windows: Tuple[Window, ...]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.objective < 1.0:
+            raise ValueError(
+                f"objective {self.objective} for {self.name!r} must be in [0, 1)"
+            )
+        if not self.windows:
+            raise ValueError(f"objective {self.name!r} needs at least one window")
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.objective
+
+
+class SLOTracker:
+    """Accumulates ``(t, good)`` observations for one objective."""
+
+    def __init__(self, objective: Objective):
+        self.objective = objective
+        self._times: List[float] = []
+        self._bad_times: List[float] = []
+        self.total = 0
+        self.bad = 0
+
+    def record(self, t: float, good: bool) -> None:
+        self.total += 1
+        self._times.append(t)
+        if not good:
+            self.bad += 1
+            self._bad_times.append(t)
+
+    # -- evaluation -------------------------------------------------------
+
+    def _window_counts(self, window_s: float, now: float) -> Tuple[int, int]:
+        cutoff = now - window_s
+        total = sum(1 for t in self._times if t >= cutoff)
+        bad = sum(1 for t in self._bad_times if t >= cutoff)
+        return total, bad
+
+    def burn_rate(self, window_s: float, now: float) -> float:
+        """Budget-consumption speed over the trailing window (0 if idle)."""
+        total, bad = self._window_counts(window_s, now)
+        if total == 0:
+            return 0.0
+        return (bad / total) / self.objective.budget
+
+    def report(self, now: float) -> Dict[str, object]:
+        """The verdict dict stamped into loadtest reports and manifests."""
+        windows = []
+        for window in self.objective.windows:
+            total, bad = self._window_counts(window.seconds, now)
+            # Verdicts apply to the *rounded* burn, so the verdict always
+            # matches the number the report displays (1.0 - 0.95 is not
+            # exactly 0.05 in floats; without rounding a displayed burn
+            # of 2.0 could sit just under a threshold of 2.0).
+            burn = (
+                round((bad / total) / self.objective.budget, 6) if total else 0.0
+            )
+            windows.append(
+                {
+                    "seconds": round(window.seconds, 6),
+                    "total": total,
+                    "bad": bad,
+                    "burn": burn,
+                    "verdict": window.verdict(burn),
+                }
+            )
+        overall_bad_frac = self.bad / self.total if self.total else 0.0
+        return {
+            "name": self.objective.name,
+            "description": self.objective.description,
+            "objective": round(self.objective.objective, 6),
+            "total": self.total,
+            "bad": self.bad,
+            "bad_fraction": round(overall_bad_frac, 6),
+            "budget": round(self.objective.budget, 6),
+            "windows": windows,
+            "verdict": worst_verdict(w["verdict"] for w in windows),
+        }
+
+
+def evaluate_counts(objective: Objective, total: int, bad: int) -> Dict[str, object]:
+    """A windowless verdict from final tallies (sweep cell failures).
+
+    The single configured window's thresholds apply to the whole-run
+    burn rate; use for objectives where events have no meaningful
+    time axis.
+    """
+    burn = round((bad / total) / objective.budget, 6) if total else 0.0
+    window = objective.windows[0]
+    return {
+        "name": objective.name,
+        "description": objective.description,
+        "objective": round(objective.objective, 6),
+        "total": total,
+        "bad": bad,
+        "bad_fraction": round(bad / total, 6) if total else 0.0,
+        "budget": round(objective.budget, 6),
+        "burn": round(burn, 6),
+        "verdict": window.verdict(burn),
+    }
+
+
+def _paired_windows(duration_s: float) -> Tuple[Window, Window]:
+    """The short/long window pair scaled to one loadtest's duration.
+
+    Real deployments use 5m/1h pairs against a 30-day budget; a virtual
+    loadtest compresses that to 10% and 50% of the run -- short window
+    pages on fast burn (>=8x budget speed), long window flags slow leaks
+    (>=2x warn, >=4x breach).
+    """
+    return (
+        Window(seconds=max(duration_s * 0.1, 1e-9), warn=4.0, breach=8.0),
+        Window(seconds=max(duration_s * 0.5, 1e-9), warn=2.0, breach=4.0),
+    )
+
+
+def default_serve_slos(
+    duration_s: float, p95_target_s: Optional[float] = None
+) -> List[Objective]:
+    """The serving layer's objectives for one loadtest of ``duration_s``.
+
+    ``p95_target_s`` defaults to the degradation ladder's 0.100 s p95
+    target, overridable ambiently via ``REPRO_SLO`` (seconds).
+    """
+    if p95_target_s is None:
+        p95_target_s = config.slo_target_env(0.100)
+    windows = _paired_windows(duration_s)
+    return [
+        Objective(
+            name="serve_p95_latency",
+            description=(
+                f"95% of served requests complete within "
+                f"{p95_target_s * 1e3:.0f} ms"
+            ),
+            objective=0.95,
+            windows=windows,
+        ),
+        Objective(
+            name="serve_shed_rate",
+            description="95% of submitted requests are not shed",
+            objective=0.95,
+            windows=windows,
+        ),
+    ]
+
+
+#: Latency target used by :func:`default_serve_slos` callers that need
+#: the same number for good/bad classification.
+def serve_latency_target_s() -> float:
+    return config.slo_target_env(0.100)
+
+
+def sweep_cell_objective() -> Objective:
+    """Cell failure rate: 99% of sweep cells succeed without exhausting retries."""
+    return Objective(
+        name="sweep_cell_failures",
+        description="99% of sweep cells complete without failing",
+        objective=0.99,
+        windows=(Window(seconds=float("inf"), warn=1.0, breach=2.0),),
+    )

@@ -46,7 +46,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro import faults
+from repro import config, faults
 
 __all__ = [
     "CellFailed",
@@ -66,46 +66,9 @@ DEFAULT_MAX_POOL_FAILURES = 3
 #: The engine's wait granularity: deadline checks and shutdown polls.
 _WAIT_TICK_S = 0.05
 
-#: Environment values already warned about (warn once per process).
-_WARNED_ENV: set = set()
-
-
-def positive_env(
-    name: str,
-    parse: Callable = int,
-    minimum: float = 1,
-) -> Optional[float]:
-    """A positive number from ``$name``, or ``None`` (unset/invalid).
-
-    Invalid, zero or negative values are **ignored loudly** -- one
-    stderr warning per (variable, value) per process plus a
-    ``config.invalid_env`` trace event on the active obs session --
-    instead of being silently clamped.
-    """
-    raw = os.environ.get(name, "")
-    if not raw:
-        return None
-    try:
-        value = parse(raw)
-    except ValueError:
-        value = None
-    if value is None or value < minimum:
-        if (name, raw) not in _WARNED_ENV:
-            _WARNED_ENV.add((name, raw))
-            print(
-                f"warning: ignoring invalid {name}={raw!r} "
-                f"(want a number >= {minimum})",
-                file=sys.stderr,
-            )
-            from repro.obs import get_session
-
-            session = get_session()
-            if session is not None:
-                session.events.emit(
-                    "config.invalid_env", "warn", variable=name, value=raw
-                )
-        return None
-    return value
+#: Re-exported for existing callers; the implementation (and the
+#: warn-once state) now lives in :mod:`repro.config`.
+positive_env = config.positive_env
 
 
 class CellTimeout(RuntimeError):

@@ -215,6 +215,10 @@ class Request:
     token: str
     attempt: int = 0
     future: asyncio.Future = None  # type: ignore[assignment]
+    #: Root ``serve.request`` span and the open ``serve.queued`` child;
+    #: both ``None`` whenever tracing is off (zero span allocations).
+    span: Optional[object] = None
+    queued_span: Optional[object] = None
 
 
 @dataclass
@@ -287,6 +291,31 @@ class PrefetchService:
         session = get_session()
         if session is not None:
             session.events.emit(category, severity, **fields)
+
+    @staticmethod
+    def _tracer():
+        """The active session's tracer when tracing is on, else ``None``."""
+        from repro.obs import get_session
+
+        session = get_session()
+        if session is None or not session.tracer.enabled:
+            return None
+        return session.tracer
+
+    def _finish_queued(self, request: Request, t: float) -> None:
+        if request.queued_span is not None:
+            request.queued_span.tracer.finish(request.queued_span, t=t)
+            request.queued_span = None
+
+    def _finish_request_span(
+        self, request: Request, status: str, t: Optional[float] = None
+    ) -> None:
+        if request.span is not None:
+            self._finish_queued(request, t if t is not None else self._now())
+            request.span.tracer.finish(
+                request.span, status=status,
+                t=t if t is not None else self._now(),
+            )
 
     # -- time -------------------------------------------------------------
 
@@ -368,6 +397,17 @@ class PrefetchService:
         now = self._now()
         index = self.counters["submitted"]
         self.counters["submitted"] += 1
+        token = f"{tenant}:{index}"
+        tracer = self._tracer()
+        span = None
+        if tracer is not None:
+            # The trace id is derived from the seeded token, and every
+            # timestamp is the event-loop clock: under virtual time the
+            # whole trace set is bit-reproducible.
+            span = tracer.start_trace(
+                "serve.request", token, t=now,
+                tenant=tenant, token=token, batch=len(batch),
+            )
         request = Request(
             tenant=tenant,
             batch=batch,
@@ -376,13 +416,22 @@ class PrefetchService:
                 else self.config.default_deadline_s
             ),
             enqueued_at=now,
-            token=f"{tenant}:{index}",
+            token=token,
             future=asyncio.get_running_loop().create_future(),
+            span=span,
         )
         try:
             self._queue.put_nowait(request)
         except asyncio.QueueFull:
             self.counters["shed_overload"] += 1
+            if span is not None:
+                admit = tracer.start_span(
+                    "serve.admit", parent=span, t=now,
+                    depth=self._queue.qsize(),
+                    watermark=self.config.queue_watermark,
+                )
+                tracer.finish(admit, status="shed_overload", t=now)
+                tracer.finish(span, status="shed_overload", t=now)
             self.emit(
                 "serve.shed", "debug",
                 tenant=tenant, reason="queue_full",
@@ -393,6 +442,16 @@ class PrefetchService:
                 f"request queue at watermark "
                 f"({self.config.queue_watermark}); request shed"
             ) from None
+        if span is not None:
+            admit = tracer.start_span(
+                "serve.admit", parent=span, t=now,
+                depth=self._queue.qsize(),
+                watermark=self.config.queue_watermark,
+            )
+            tracer.finish(admit, t=now)
+            request.queued_span = tracer.start_span(
+                "serve.queued", parent=span, t=now, attempt=0
+            )
         return await request.future
 
     # -- workers ----------------------------------------------------------
@@ -417,6 +476,17 @@ class PrefetchService:
         now = self._now()
         if request.future.done():
             return
+        self._finish_queued(request, now)
+        span = request.span
+        tracer = span.tracer if span is not None else None
+        if span is not None:
+            # The breaker gate is a point decision at dequeue: which
+            # worker picked the request up and in what breaker state.
+            gate = tracer.start_span(
+                "serve.breaker_gate", parent=span, t=now,
+                worker=worker, state=breaker.state,
+            )
+            tracer.finish(gate, t=now)
         if now >= request.deadline:
             self._resolve_error(
                 request,
@@ -429,10 +499,19 @@ class PrefetchService:
             return
         tier = self.controller.tier
         self._inflight += 1
+        exec_span = None
+        if span is not None:
+            exec_span = tracer.start_span(
+                "serve.execute", parent=span, t=now,
+                worker=worker, tier=tier.name, attempt=request.attempt,
+            )
         try:
-            response = await self._execute(request, tier, worker)
+            response = await self._execute(request, tier, worker, exec_span)
         except faults.InjectedFault:
-            breaker.record_failure(self._now())
+            now = self._now()
+            if exec_span is not None:
+                tracer.finish(exec_span, status="fault", t=now)
+            breaker.record_failure(now)
             self.counters["worker_failures"] += 1
             self.emit(
                 "serve.worker_fail", "debug",
@@ -444,19 +523,27 @@ class PrefetchService:
         except DeadlineExceeded as exc:
             # Expired mid-execution: session state was *not* mutated
             # (the deadline gate precedes apply), so rejecting is safe.
-            breaker.record_success(self._now())
+            now = self._now()
+            if exec_span is not None:
+                tracer.finish(exec_span, status="deadline", t=now)
+            breaker.record_success(now)
             self._resolve_error(request, exc, "shed_deadline_executing")
             return
         finally:
             self._inflight -= 1
-        breaker.record_success(self._now())
+        now = self._now()
+        if exec_span is not None:
+            tracer.finish(exec_span, t=now)
+        breaker.record_success(now)
         self.counters["served"] += 1
         self.controller.note_latency(response.latency_s)
+        self._finish_request_span(request, "served", t=now)
         if not request.future.done():
             request.future.set_result(response)
 
     async def _execute(
-        self, request: Request, tier: Tier, worker: str
+        self, request: Request, tier: Tier, worker: str,
+        exec_span: Optional[object] = None,
     ) -> Response:
         cfg = self.config
         # Fault sites, in failure order: a crash aborts before any work;
@@ -477,7 +564,15 @@ class PrefetchService:
                 f"deadline expired while executing (attempt {request.attempt})"
             )
         session = self.sessions.get_or_create(request.tenant, now)
+        apply_span = None
+        if exec_span is not None:
+            apply_span = exec_span.tracer.start_span(
+                "serve.session_apply", parent=exec_span, t=now,
+                tenant=request.tenant,
+            )
         lines = session.apply(request.batch, tier, now=now)
+        if apply_span is not None:
+            apply_span.tracer.finish(apply_span, t=self._now())
         return Response(
             tenant=request.tenant,
             seq=session.seq,
@@ -522,12 +617,20 @@ class PrefetchService:
                 ServiceOverloaded("queue full while retrying after failure"),
                 counter=None,
             )
+            return
+        if request.span is not None:
+            request.span.annotate(retries=request.attempt)
+            request.queued_span = request.span.tracer.start_span(
+                "serve.queued", parent=request.span, t=now,
+                attempt=request.attempt,
+            )
 
     def _resolve_error(
         self, request: Request, error: ServeError, counter: Optional[str]
     ) -> None:
         if counter is not None:
             self.counters[counter] += 1
+        self._finish_request_span(request, counter or "shed_overload")
         if not request.future.done():
             request.future.set_exception(error)
 
@@ -535,12 +638,41 @@ class PrefetchService:
 
     async def _monitor_loop(self) -> None:
         cfg = self.config
+        tick = 0
         while True:
             await self._sleep(cfg.monitor_interval_s)
             now = self._now()
-            fill = self._queue.qsize() / max(1, cfg.queue_watermark)
+            depth = self._queue.qsize()
+            fill = depth / max(1, cfg.queue_watermark)
             self.controller.decide(fill, now=now)
             self.sessions.sweep_idle(now)
+            self._sample_pressure(tick, now, depth)
+            tick += 1
+
+    def _sample_pressure(self, tick: int, now: float, depth: int) -> None:
+        """Serving-pressure gauges + one epoch row per monitor tick.
+
+        With obs active, the epoch time-series (and therefore reports)
+        covers queue depth, in-flight work and the degrade level over
+        the run, not just the engines' per-epoch counters.
+        """
+        from repro.obs import get_session
+
+        session = get_session()
+        if session is None:
+            return
+        session.registry.gauge("serve.queue_depth").set(depth)
+        session.registry.gauge("serve.inflight").set(self._inflight)
+        session.registry.gauge("serve.degrade_level").set(self.controller.level)
+        session.sampler.sample(
+            run="serve",
+            epoch=tick,
+            t=round(now, 6),
+            queue_depth=depth,
+            inflight=self._inflight,
+            degrade_level=self.controller.level,
+            p95_s=round(self.controller.p95_s(), 6),
+        )
 
     # -- surfaces ---------------------------------------------------------
 
@@ -589,3 +721,46 @@ class PrefetchService:
         ):
             reasons.append("queue at watermark")
         return {"ready": not reasons, "reasons": reasons}
+
+    def metrics(self) -> str:
+        """Prometheus text exposition: counters, pressure, health, registry.
+
+        The scrape surface next to :meth:`health`/:meth:`ready`: the
+        service's own counters and pressure gauges plus, when an obs
+        session is active, its whole metrics registry.  Output is
+        sorted, so identical service states render byte-identically;
+        ``repro metrics --check`` lints it with
+        :func:`repro.obs.exposition.parse_text`.
+        """
+        from repro.obs import get_session
+        from repro.obs.exposition import render
+
+        health = self.health()
+        counters = {f"serve.{name}": value for name, value in self.counters.items()}
+        counters["serve.breaker_trips"] = sum(b.trips for b in self._breakers)
+        counters["serve.sessions_created"] = self.sessions.created
+        gauges = {
+            "serve.queue_depth": health["queue_depth"],
+            "serve.queue_watermark": self.config.queue_watermark,
+            "serve.inflight": health["inflight"],
+            "serve.degrade_level": health["degrade_level"],
+            "serve.degrade_transitions": health["degrade_transitions"],
+            "serve.p95_seconds": health["p95_s"],
+            "serve.breakers_open": sum(
+                1 for b in self._breakers if b.state != CircuitBreaker.CLOSED
+            ),
+            "serve.sessions_active": len(self.sessions),
+        }
+        states = {
+            "serve.health": health["status"],
+            "serve.tier": health["tier"],
+        }
+        session = get_session()
+        registry = session.registry if session is not None else None
+        if registry is not None:
+            # The monitor ticks publish some of the same gauges into the
+            # registry; drop our copies so no series renders twice.
+            existing = set(registry.names())
+            counters = {k: v for k, v in counters.items() if k not in existing}
+            gauges = {k: v for k, v in gauges.items() if k not in existing}
+        return render(registry, counters=counters, gauges=gauges, states=states)

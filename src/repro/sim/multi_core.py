@@ -28,6 +28,8 @@ from repro.sim.config import MachineConfig
 from repro.sim.factory import PrefetcherSpec, make_prefetcher
 from repro.sim.single_core import (
     _MetadataPartition,
+    _finish_sim_span,
+    _open_sim_span,
     _register_dram_metrics,
     _register_run_metrics,
     attach_observability,
@@ -96,6 +98,7 @@ def simulate_multicore(
 
     session = obs if obs is not None else get_session()
     run: Optional[RunObserver] = None
+    sim_span = None
     if session is not None:
         run = session.begin_run(
             "+".join(t.name for t in traces),
@@ -103,6 +106,12 @@ def simulate_multicore(
         )
         attach_observability(
             run, all_triages, dram=dram, profiler=session.profiler
+        )
+        sim_span = _open_sim_span(
+            session, run, "analytic-multi",
+            "+".join(t.name for t in traces),
+            prefetchers[0].name if prefetchers[0] is not None else "none",
+            t=wall_start,
         )
     prev_store = [(0, 0) for _ in range(n_cores)]  # (lookups, hits) per core
 
@@ -343,5 +352,14 @@ def simulate_multicore(
                 session, hierarchy.counters[core], core_triages[core]
             )
         _register_dram_metrics(session, dram)
+        _finish_sim_span(
+            session,
+            sim_span,
+            phases=(
+                ("l2_stream", t_stream),
+                ("l1_prefetcher", t_l1pf),
+                ("l2_prefetcher", t_l2pf),
+            ),
+        )
         run.finish(manifest)
     return result

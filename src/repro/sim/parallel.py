@@ -32,9 +32,12 @@ multi-benchmark sessions do not grow memory without bound.
 Observability: when the parent has an active
 :class:`~repro.obs.ObsSession`, each worker runs its cell under a fresh
 local session and ships back a typed metrics dump, its trace events,
-epoch rows and manifests; the parent folds them in **in cell-submission
-order**, so merged counters/events are deterministic regardless of
-worker scheduling.  Run manifests of parallel results are also appended
+epoch rows, spans and manifests; the parent folds them in **in
+cell-submission order**, so merged counters/events are deterministic
+regardless of worker scheduling.  When tracing is on, every cell runs
+under a root ``sweep.cell`` span whose ids derive from the cell's
+identity token (propagated over the wire), so the merged trace tree of
+a parallel sweep is bit-identical to a serial one's.  Run manifests of parallel results are also appended
 to the always-on :data:`repro.obs.manifest.RUN_LOG` (worker-side logs
 die with the worker), keeping bench provenance files complete.
 """
@@ -47,7 +50,7 @@ import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence
 
-from repro import cache, faults, resilience
+from repro import cache, config, faults, resilience
 from repro.core.triage import TriageConfig
 from repro.obs import get_session
 from repro.obs.manifest import RUN_LOG, RunManifest, log_cached_manifest
@@ -59,7 +62,15 @@ Cell = Dict[str, object]
 
 #: Payload bookkeeping keys that are not part of a cell's identity.
 _TRANSPORT_KEYS = frozenset(
-    {"cache_dir", "obs", "faults", "faults_seed", "fault_token", "fault_attempt"}
+    {
+        "cache_dir",
+        "obs",
+        "faults",
+        "faults_seed",
+        "fault_token",
+        "fault_attempt",
+        "trace",
+    }
 )
 
 
@@ -70,7 +81,7 @@ def _jobs_env() -> Optional[int]:
     ``config.invalid_env`` obs event) and are ignored, rather than being
     silently clamped to 1 as they once were.
     """
-    value = resilience.positive_env("REPRO_JOBS", int, minimum=1)
+    value = config.positive_env("REPRO_JOBS", int, minimum=1)
     return int(value) if value is not None else None
 
 
@@ -310,6 +321,29 @@ def _fire_cell_faults(payload: Cell) -> None:
     faults.fire("cell_timeout", token, attempt)
 
 
+def _cell_span(session, payload: Cell):
+    """Open the cell's root ``sweep.cell`` span from its wire context.
+
+    The submitting :func:`run_cells` derives the context purely from the
+    cell's identity token, so the span reconstructed here -- in a worker
+    or in-process -- carries the *same* trace/span ids either way; that
+    is what makes a parallel sweep's trace tree bit-identical to the
+    serial one.  Returns ``NULL_SPAN`` when no context was attached.
+    """
+    from repro.obs.tracing import NULL_SPAN
+
+    wire = payload.get("trace")
+    if session is None or not wire or not session.tracer.enabled:
+        return NULL_SPAN
+    return session.tracer.begin_from_wire(
+        wire,
+        "sweep.cell",
+        task=str(payload.get("task")),
+        bench=str(payload.get("bench") or ""),
+        config=str(payload.get("config_name") or ""),
+    )
+
+
 def _execute(payload: Cell) -> Dict[str, object]:
     """Worker entry point: configure cache/obs/faults locally, run, dump.
 
@@ -343,13 +377,15 @@ def _execute(payload: Cell) -> Dict[str, object]:
     session = obs_mod.enable()
     try:
         start = time.perf_counter()
-        result = _run_task(payload)
+        with _cell_span(session, payload):
+            result = _run_task(payload)
         seconds = time.perf_counter() - start
         dump = {
             "metrics": session.registry.dump_typed(),
             "events": [e.to_dict() for e in session.events.events()],
             "epochs": list(session.sampler.rows),
             "manifests": [m.to_dict() for m in session.manifests],
+            "spans": session.tracer.records(),
         }
     finally:
         obs_mod.disable()
@@ -369,7 +405,8 @@ def _run_local(payload: Cell, attempt: int = 0) -> Dict[str, object]:
     payload = dict(payload, fault_attempt=attempt)
     _fire_cell_faults(payload)
     start = time.perf_counter()
-    result = _run_task(payload)
+    with _cell_span(get_session(), payload):
+        result = _run_task(payload)
     return {
         "result": result,
         "obs": None,
@@ -391,6 +428,9 @@ def _merge_obs(session, dump: Dict[str, object]) -> None:
         session.sampler.sample(**row)
     for manifest in dump["manifests"]:
         session.manifests.append(RunManifest.from_dict(manifest))
+    spans = dump.get("spans")
+    if spans:
+        session.tracer.merge(spans)
 
 
 def _log_manifests(result) -> None:
@@ -523,6 +563,8 @@ def run_cells(
         """One closing ``sweep.summary`` event: the grid's economics."""
         if emit is None:
             return
+        from repro.obs import slo as slo_mod
+
         emit(
             "sweep.summary",
             "info",
@@ -533,6 +575,9 @@ def run_cells(
             retries=tallies["retries"],
             timeouts=tallies["timeouts"],
             failed=failed,
+            slo=slo_mod.evaluate_counts(
+                slo_mod.sweep_cell_objective(), total=n, bad=failed
+            ),
             cache_hits=(store.hits - cache_hits_before) if store is not None else 0,
             cache_misses=(
                 store.misses - cache_misses_before if store is not None else 0
@@ -546,6 +591,15 @@ def run_cells(
         return results
 
     plan = faults.get_plan()
+    tokens = [identities[i] or f"cell:{i}" for i in todo]
+    tracing = session is not None and session.tracer.enabled
+    if tracing:
+        from repro.obs.tracing import Tracer
+
+        # Per-cell wire contexts, derived purely from the cell identity
+        # token: the executing side (worker or in-process) reconstructs
+        # the same root span ids, so serial == parallel trace trees.
+        wires = [Tracer.to_wire(token, "sweep.cell") for token in tokens]
     payloads = [
         dict(
             cells[i],
@@ -553,10 +607,10 @@ def run_cells(
             obs=session is not None,
             faults=plan.to_spec() if plan is not None else None,
             faults_seed=plan.seed if plan is not None else 0,
+            trace=wires[position] if tracing else None,
         )
-        for i in todo
+        for position, i in enumerate(todo)
     ]
-    tokens = [identities[i] or f"cell:{i}" for i in todo]
 
     def on_complete(position: int, output: object) -> None:
         index = todo[position]

@@ -35,6 +35,8 @@ from repro.sim.queued.dram_sched import BankedDram, DramTimingParams
 from repro.sim.queued.mshr import MshrFile
 from repro.sim.single_core import (
     _MetadataPartition,
+    _finish_sim_span,
+    _open_sim_span,
     _register_run_metrics,
     attach_observability,
     make_l1_prefetcher,
@@ -83,11 +85,17 @@ def simulate_queued(
 
     session = obs if obs is not None else get_session()
     run: Optional[RunObserver] = None
+    sim_span = None
     if session is not None:
         run = session.begin_run(
             name or trace.name, pf.name if pf is not None else "none"
         )
         attach_observability(run, triages, profiler=session.profiler)
+        sim_span = _open_sim_span(
+            session, run, "queued",
+            name or trace.name, pf.name if pf is not None else "none",
+            t=wall_start,
+        )
 
     dram = BankedDram(
         DramTimingParams(
@@ -269,5 +277,6 @@ def simulate_queued(
         _register_run_metrics(session, counters, triages)
         session.registry.counter("queued.dropped_prefetches").inc(dropped_prefetches)
         session.registry.counter("queued.mshr_full_stalls").inc(mshrs.full_stalls)
+        _finish_sim_span(session, sim_span)
         run.finish(manifest)
     return result

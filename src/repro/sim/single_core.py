@@ -159,12 +159,18 @@ def simulate(
     session = obs if obs is not None else get_session()
     run: Optional[RunObserver] = None
     prof = None
+    sim_span = None
     if session is not None:
         run = session.begin_run(
             name or trace.name, pf.name if pf is not None else "none"
         )
         prof = session.profiler
         attach_observability(run, triages, dram=dram, profiler=prof)
+        sim_span = _open_sim_span(
+            session, run, "analytic",
+            name or trace.name, pf.name if pf is not None else "none",
+            t=wall_start,
+        )
     prev_store = [(0, 0, 0) for _ in triages]  # (lookups, hits, evictions)
 
     counters = hierarchy.counters[0]
@@ -383,8 +389,54 @@ def simulate(
     if run is not None:
         _register_run_metrics(session, counters, triages)
         _register_dram_metrics(session, dram)
+        _finish_sim_span(
+            session,
+            sim_span,
+            phases=(
+                ("l2_stream", t_stream),
+                ("l1_prefetcher", t_l1pf),
+                ("l2_prefetcher", t_l2pf),
+            ),
+        )
         run.finish(manifest)
     return result
+
+
+def _open_sim_span(session, run, engine, workload, prefetcher, t=None):
+    """This run's ``sim.run`` span, or ``None`` when tracing is off.
+
+    Under a current trace (a ``sweep.cell`` root, a serve request) the
+    span attaches as a child; otherwise it roots a standalone trace
+    keyed on the session's deterministic run id.
+    """
+    tracer = session.tracer
+    if not tracer.enabled:
+        return None
+    attrs = {"engine": engine, "workload": workload, "prefetcher": prefetcher}
+    if tracer.current() is not None:
+        return tracer.start_span("sim.run", t=t, **attrs)
+    return tracer.start_trace("sim.run", run.run_id, t=t, **attrs)
+
+
+def _finish_sim_span(session, span, phases=(), t=None) -> None:
+    """Close a run's ``sim.run`` span, filing profiler-phase children.
+
+    Phase seconds are accumulated as raw ``perf_counter`` deltas (the
+    access loop is too hot for live span bookkeeping); they are recorded
+    as back-to-back measured segments so a waterfall still shows where
+    the run's wall time went.  Empty phases (profiling off, component
+    absent) are skipped, keeping serial/parallel trees structurally
+    identical.
+    """
+    if span is None:
+        return
+    tracer = session.tracer
+    base = span.start
+    for name, seconds in phases:
+        if seconds:
+            tracer.event(span, f"phase.{name}", base, base + seconds)
+            base += seconds
+    tracer.finish(span, "ok", t=t)
 
 
 def _register_dram_metrics(session, dram) -> None:

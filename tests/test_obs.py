@@ -397,22 +397,22 @@ class TestEventCapacityConfig:
             obs.ObsSession(capacity=4, event_capacity=8)
 
     def test_invalid_env_warns_once_and_falls_back(self, monkeypatch, capsys):
-        from repro import resilience
+        from repro import config
         from repro.obs.events import DEFAULT_CAPACITY
 
         monkeypatch.setenv("REPRO_OBS_EVENTS", "banana")
-        monkeypatch.setattr(resilience, "_WARNED_ENV", set())
+        monkeypatch.setattr(config, "_WARNED", set())
         assert TraceEventStream().capacity == DEFAULT_CAPACITY
         assert TraceEventStream().capacity == DEFAULT_CAPACITY
         err = capsys.readouterr().err
         assert err.count("REPRO_OBS_EVENTS") == 1  # warn-once
 
     def test_zero_env_ignored(self, monkeypatch):
-        from repro import resilience
+        from repro import config
         from repro.obs.events import DEFAULT_CAPACITY
 
         monkeypatch.setenv("REPRO_OBS_EVENTS", "0")
-        monkeypatch.setattr(resilience, "_WARNED_ENV", set())
+        monkeypatch.setattr(config, "_WARNED", set())
         assert TraceEventStream().capacity == DEFAULT_CAPACITY
 
     def test_explicit_invalid_capacity_still_raises(self):

@@ -30,7 +30,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import cache, faults, obs, resilience
+from repro import cache, config, faults, obs, resilience
 from repro.core.triage import TriageConfig
 from repro.experiments import common
 from repro.sim import parallel
@@ -446,7 +446,7 @@ class TestLoudDegradation:
     def test_invalid_repro_jobs_warns_and_falls_back(
         self, bad, capsys, monkeypatch
     ):
-        monkeypatch.setattr(resilience, "_WARNED_ENV", set())
+        monkeypatch.setattr(config, "_WARNED", set())
         monkeypatch.setenv("REPRO_JOBS", bad)
         assert parallel.jobs_from_env(default=3) == 3
         assert parallel.default_jobs() >= 1
@@ -454,7 +454,7 @@ class TestLoudDegradation:
         assert err.count("ignoring invalid REPRO_JOBS") == 1  # warn once
 
     def test_invalid_env_emits_obs_event(self, monkeypatch):
-        monkeypatch.setattr(resilience, "_WARNED_ENV", set())
+        monkeypatch.setattr(config, "_WARNED", set())
         monkeypatch.setenv("REPRO_RETRIES", "never")
         session = obs.enable()
         assert resilience.RetryPolicy.from_env().retries == (
