@@ -88,7 +88,7 @@ def _name_is_registered(name: str) -> bool:
     return factory.is_registered(name) or common.is_registered(name)
 
 
-def spec_fingerprint(spec) -> Dict[str, object]:
+def spec_fingerprint(spec, engine: Optional[str] = None) -> Dict[str, object]:
     """A canonical dict identifying a prefetcher spec, for key building.
 
     Accepts the cache-friendly subset of
@@ -98,6 +98,14 @@ def spec_fingerprint(spec) -> Dict[str, object]:
     name into the fingerprint, so a Triangel config never collides with
     the Triage config sharing its fields).
 
+    The *simulation engine* is folded in as well: ``engine`` defaults to
+    the :envvar:`REPRO_ENGINE` resolution, and any non-default engine
+    adds an ``"engine"`` entry to the fingerprint.  Engines are required
+    to be bit-identical, but the manifests they stamp are not, so a
+    warm-cache result recorded under one engine is never served to a run
+    requesting the other.  The default (``"analytic"``) engine adds no
+    entry, which keeps every pre-existing cache key addressable.
+
     Name strings are validated against the builder registries
     (``sim.factory.is_registered`` and ``experiments.common.
     is_registered``): an unknown name raises :class:`UncacheableSpec`
@@ -106,11 +114,12 @@ def spec_fingerprint(spec) -> Dict[str, object]:
     miss forever while looking healthy.  Instances and factories also
     raise :class:`UncacheableSpec`.
     """
+    from repro import config as config_mod
     from repro.core.triage import TriageConfig
 
     if spec is None:
-        return {"kind": "none"}
-    if isinstance(spec, str):
+        fingerprint: Dict[str, object] = {"kind": "none"}
+    elif isinstance(spec, str):
         name = spec.lower().strip()
         if not _name_is_registered(name):
             raise UncacheableSpec(
@@ -118,12 +127,18 @@ def spec_fingerprint(spec) -> Dict[str, object]:
                 "sim.factory.make_prefetcher or experiments.common.make_spec "
                 "(refusing to hash a name no builder can construct)"
             )
-        return {"kind": "name", "name": name}
-    if isinstance(spec, TriageConfig):
-        return {"kind": "triage_config", "config": canonicalize(spec)}
-    raise UncacheableSpec(
-        f"prefetcher spec of type {type(spec).__name__} has no stable fingerprint"
-    )
+        fingerprint = {"kind": "name", "name": name}
+    elif isinstance(spec, TriageConfig):
+        fingerprint = {"kind": "triage_config", "config": canonicalize(spec)}
+    else:
+        raise UncacheableSpec(
+            f"prefetcher spec of type {type(spec).__name__} has no stable "
+            "fingerprint"
+        )
+    resolved = engine if engine is not None else config_mod.engine_env()
+    if resolved != "analytic":
+        fingerprint["engine"] = resolved
+    return fingerprint
 
 
 def run_key(

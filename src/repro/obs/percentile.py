@@ -1,0 +1,37 @@
+"""Nearest-rank percentiles, shared by bench, loadgen and waterfall.
+
+The three percentile consumers (cell-latency p50/p95 in
+:mod:`repro.obs.bench`, the serving p50/p95 KPIs in
+:mod:`repro.serve.loadgen`, the p95-slowest trace pick in
+:mod:`repro.obs.reporting.waterfall`) used to each round
+``q * (n - 1)`` with :func:`round`, whose banker's rounding made the
+picked element depend on list-length parity (``round(0.5) == 0`` but
+``round(1.5) == 2``).  This module is the single owner of the fix: the
+classic nearest-rank definition, rank ``ceil(q * n)`` (1-based) over the
+sorted sample, which is parity-independent and always an actual sample
+element.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["nearest_rank", "nearest_rank_index"]
+
+
+def nearest_rank_index(n: int, q: float) -> int:
+    """0-based index of the nearest-rank ``q``-percentile in ``n`` samples.
+
+    Rank ``ceil(q * n)`` clamped into ``[1, n]``; raises on ``n <= 0``
+    (callers own their empty-input semantics).
+    """
+    if n <= 0:
+        raise ValueError("nearest_rank_index needs at least one sample")
+    rank = math.ceil(q * n)
+    return min(max(rank, 1), n) - 1
+
+
+def nearest_rank(ordered: Sequence, q: float):
+    """The nearest-rank ``q``-percentile element of a **sorted** sequence."""
+    return ordered[nearest_rank_index(len(ordered), q)]

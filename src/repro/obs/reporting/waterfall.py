@@ -18,6 +18,7 @@ from __future__ import annotations
 from html import escape
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.percentile import nearest_rank
 from repro.obs.reporting import figures, page
 
 __all__ = [
@@ -102,7 +103,7 @@ def p95_trace_id(
     ranked = sorted(
         traces, key=lambda tid: (trace_duration(traces[tid]), tid)
     )
-    return ranked[int(round(0.95 * (len(ranked) - 1)))]
+    return nearest_rank(ranked, 0.95)
 
 
 def slowest_exemplars(

@@ -19,6 +19,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
+#: Windows at least this long keep their occupancy vector in a
+#: preallocated ``numpy`` buffer; the liveness-interval scan then runs as
+#: two vector ops instead of a Python slice-copy + listcomp.  Short
+#: windows (e.g. the Hawkeye set samplers) stay on the plain-list path,
+#: where the constant factors favour lists.
+_NUMPY_WINDOW = 4096
+
 
 class OptGen:
     """Occupancy-vector emulation of OPT for a cache of ``capacity`` lines.
@@ -38,6 +47,14 @@ class OptGen:
         self._time = 0
         self._base_time = 0  # timestamp of _occupancy[0]
         self._occupancy: List[int] = []
+        # Large windows back the occupancy vector with a fixed numpy
+        # buffer (first _occ_len entries live); _occupancy stays empty.
+        self._occ_buf: Optional[np.ndarray] = (
+            np.zeros(2 * self.window + 1, dtype=np.int32)
+            if self.window >= _NUMPY_WINDOW
+            else None
+        )
+        self._occ_len = 0
         self._last_access: Dict[int, int] = {}
         self.hits = 0
         self.misses = 0
@@ -62,13 +79,25 @@ class OptGen:
         """Record an access to ``key`` and return OPT's verdict for it."""
         now = self._time
         self._time += 1
-        self._occupancy.append(0)
-        # Slide the window; compact in batches so indexing stays O(1)
-        # without paying a front-pop on every access.
-        if len(self._occupancy) > 2 * self.window:
-            drop = len(self._occupancy) - self.window
-            del self._occupancy[:drop]
-            self._base_time += drop
+        buf = self._occ_buf
+        if buf is None:
+            self._occupancy.append(0)
+            # Slide the window; compact in batches so indexing stays O(1)
+            # without paying a front-pop on every access.
+            if len(self._occupancy) > 2 * self.window:
+                drop = len(self._occupancy) - self.window
+                del self._occupancy[:drop]
+                self._base_time += drop
+        else:
+            ln = self._occ_len
+            buf[ln] = 0
+            ln += 1
+            if ln > 2 * self.window:
+                drop = ln - self.window
+                buf[: self.window] = buf[drop:ln]
+                ln = self.window
+                self._base_time += drop
+            self._occ_len = ln
 
         prev = self._last_access.get(key)
         self._last_access[key] = now
@@ -80,12 +109,19 @@ class OptGen:
 
         start = prev - self._base_time
         end = now - self._base_time  # exclusive
-        occ = self._occupancy
-        interval = occ[start:end]
-        if max(interval) < self.capacity:
-            occ[start:end] = [v + 1 for v in interval]
-            self.hits += 1
-            return True
+        if buf is None:
+            occ = self._occupancy
+            interval = occ[start:end]
+            if max(interval) < self.capacity:
+                occ[start:end] = [v + 1 for v in interval]
+                self.hits += 1
+                return True
+        else:
+            interval = buf[start:end]
+            if int(interval.max()) < self.capacity:
+                interval += 1
+                self.hits += 1
+                return True
         self.misses += 1
         return False
 

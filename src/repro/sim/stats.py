@@ -160,9 +160,27 @@ class MultiCoreResult:
 
 
 def geomean(values: List[float]) -> float:
-    """Geometric mean (the paper's aggregate for speedups)."""
+    """Geometric mean (the paper's aggregate for speedups).
+
+    ``speedup_over`` legitimately yields ``0.0`` for zero-cycle or
+    failed cells, so non-positive values are skipped (loudly, once per
+    process) instead of raising a math domain error; an empty input or
+    an all-non-positive input aggregates to ``0.0``.
+    """
     if not values:
         return 0.0
-    if any(v <= 0 for v in values):
-        raise ValueError("geomean requires positive values")
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    positive = [v for v in values if v > 0]
+    if len(positive) != len(values):
+        from repro.config import warn_once
+
+        dropped = len(values) - len(positive)
+        warn_once(
+            ("stats", "geomean_nonpositive"),
+            f"geomean: skipping {dropped} non-positive value(s) "
+            "(zero-cycle or failed cells aggregate over the rest)",
+            category="stats.geomean_nonpositive",
+            dropped=dropped,
+        )
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))

@@ -98,8 +98,15 @@ def test_traffic_overhead_and_miss_reduction():
 def test_geomean():
     assert geomean([2.0, 8.0]) == pytest.approx(4.0)
     assert geomean([]) == 0.0
-    with pytest.raises(ValueError):
-        geomean([1.0, -1.0])
+
+
+def test_geomean_skips_nonpositive_values():
+    # speedup_over legitimately returns 0.0 for zero-cycle/failed cells:
+    # those (and any negative garbage) are skipped, not a domain error.
+    assert geomean([0.0, 2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([1.0, -1.0]) == pytest.approx(1.0)
+    assert geomean([0.0]) == 0.0
+    assert geomean([0.0, -3.0]) == 0.0
 
 
 def test_multicore_speedup_is_geomean_of_cores():
